@@ -1,0 +1,201 @@
+// Package srlproc's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation section. Each benchmark regenerates
+// its artefact at reduced scale and reports the headline quantity as a
+// custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// walks the entire evaluation. For publication-scale numbers use
+// cmd/experiments (larger run lengths, full text tables).
+package srlproc
+
+import (
+	"testing"
+
+	"srlproc/internal/bench"
+	"srlproc/internal/trace"
+)
+
+func benchOptions() bench.Options {
+	return bench.Options{WarmupUops: 5_000, RunUops: 30_000, Seed: 1, Parallel: true}
+}
+
+// BenchmarkTable1Config renders the machine configuration (Table 1).
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.RenderTable1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkTable2Suites renders the benchmark suite table (Table 2).
+func BenchmarkTable2Suites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.RenderTable2()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure2StoreQueueSweep regenerates Figure 2 (store queue size
+// sweep) and reports the SFP2K speedup of the 1K-entry configuration.
+func BenchmarkFigure2StoreQueueSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := fig.Series[len(fig.Series)-1]
+		b.ReportMetric(last.BySuite[trace.SFP2K], "SFP2K-1K-speedup-%")
+	}
+}
+
+// BenchmarkFigure6SRLComparison regenerates Figure 6 (SRL vs hierarchical
+// vs ideal) and reports the mean SRL speedup across suites.
+func BenchmarkFigure6SRLComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range fig.Series[0].BySuite {
+			sum += v
+		}
+		b.ReportMetric(sum/float64(len(fig.Series[0].BySuite)), "mean-SRL-speedup-%")
+	}
+}
+
+// BenchmarkTable3SRLStats regenerates Table 3 and reports SFP2K's redone
+// store percentage.
+func BenchmarkTable3SRLStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := bench.RunTable3(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tbl.Rows[0].RedoneStoresPct, "SFP2K-redone-%")
+	}
+}
+
+// BenchmarkFigure7Occupancy regenerates the SRL occupancy distribution and
+// reports the fraction of SFP2K's occupied time above 256 entries.
+func BenchmarkFigure7Occupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.BySuite[trace.SFP2K][4], "SFP2K->256-%")
+	}
+}
+
+// BenchmarkFigure8LCFAblation regenerates Figure 8 and reports how much
+// removing the LCF costs SFP2K relative to the full SRL.
+func BenchmarkFigure8LCFAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := fig.Series[0].BySuite[trace.SFP2K]
+		none := fig.Series[2].BySuite[trace.SFP2K]
+		b.ReportMetric(full-none, "SFP2K-LCF-benefit-pp")
+	}
+}
+
+// BenchmarkFigure9LCFSweep regenerates Figure 9 (LCF size and hash).
+func BenchmarkFigure9LCFSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := fig.Series[3].BySuite[trace.SFP2K] // LCF256 + 3-PAX
+		big := fig.Series[4].BySuite[trace.SFP2K]   // LCF2K + 3-PAX
+		b.ReportMetric(big-small, "SFP2K-2Kvs256-pp")
+	}
+}
+
+// BenchmarkFigure10ForwardingDesign regenerates Figure 10 (FC vs data
+// cache for temporary updates).
+func BenchmarkFigure10ForwardingDesign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fc := fig.Series[0].BySuite[trace.SFP2K]
+		dc := fig.Series[1].BySuite[trace.SFP2K]
+		b.ReportMetric(fc-dc, "SFP2K-FC-benefit-pp")
+	}
+}
+
+// BenchmarkSection62PowerArea evaluates the analytical power/area model.
+func BenchmarkSection62PowerArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(bench.RunPowerArea()) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (committed
+// micro-ops per wall second) of the SRL design on SINT2K.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 0
+	cfg.RunUops = 50_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, SINT2K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Uops), "uops/op")
+	}
+}
+
+// --- ablation benchmarks beyond the paper (DESIGN.md section 6) ---
+
+// BenchmarkLoadBufferOverflowPolicy contrasts the victim-buffer and
+// violate-on-overflow policies Section 3 offers.
+func BenchmarkLoadBufferOverflowPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vict := DefaultConfig(DesignSRL)
+		vict.WarmupUops, vict.RunUops = 5_000, 30_000
+		viol := vict
+		viol.LoadBufVictim = 0
+		viol.LoadBufPolicy = 1 // lsq.OverflowViolate
+		rv, err := Run(vict, SFP2K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ro, err := Run(viol, SFP2K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rv.SpeedupOver(ro), "victim-benefit-%")
+	}
+}
+
+// BenchmarkWARDelay measures the cost/benefit of the write-after-read order
+// tracker delaying SRL drains (the paper asserts it does not hurt).
+func BenchmarkWARDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := DefaultConfig(DesignSRL)
+		on.WarmupUops, on.RunUops = 5_000, 30_000
+		off := on
+		off.UseWARTracker = false
+		rOn, err := Run(on, SFP2K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rOff, err := Run(off, SFP2K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rOn.SpeedupOver(rOff), "WAR-cost-%")
+	}
+}

@@ -1,0 +1,66 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section and prints them in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"srlproc/internal/bench"
+	"srlproc/internal/trace"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale for a fast sanity pass")
+	uops := flag.Uint64("uops", 0, "override measured micro-ops per point")
+	warm := flag.Uint64("warmup", 0, "override warmup micro-ops per point")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	only := flag.String("only", "", "run only one experiment: table1,table2,fig2,fig6,table3,fig7,fig8,fig9,fig10,energy,power")
+	flag.Parse()
+
+	o := bench.DefaultOptions()
+	if *quick {
+		o = bench.QuickOptions()
+	}
+	if *uops > 0 {
+		o.RunUops = *uops
+	}
+	if *warm > 0 {
+		o.WarmupUops = *warm
+	}
+	o.Seed = *seed
+
+	want := func(name string) bool { return *only == "" || *only == name }
+
+	if want("table1") {
+		fmt.Println(bench.RenderTable1())
+	}
+	if want("table2") {
+		fmt.Println(bench.RenderTable2())
+	}
+	run := func(name string, f func(bench.Options) (fmt.Stringer, error)) {
+		if !want(name) {
+			return
+		}
+		r, err := f(o)
+		if err != nil {
+			log.Printf("%s: %v", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.String())
+	}
+	run("fig2", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure2(o) })
+	run("fig6", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure6(o) })
+	run("table3", func(o bench.Options) (fmt.Stringer, error) { return bench.RunTable3(o) })
+	run("fig7", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure7(o) })
+	run("fig8", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure8(o) })
+	run("fig9", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure9(o) })
+	run("fig10", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure10(o) })
+	run("energy", func(o bench.Options) (fmt.Stringer, error) { return bench.RunEnergy(o) })
+	run("latency", func(o bench.Options) (fmt.Stringer, error) { return bench.RunLatencySweep(o, trace.SFP2K) })
+	if want("power") {
+		fmt.Println(bench.RunPowerArea())
+	}
+}

@@ -1,0 +1,119 @@
+// Command srlsim runs one simulation point — a store-processing design on
+// a benchmark suite — and prints its statistics. It is the workhorse for
+// interactive exploration; cmd/experiments regenerates the paper's full
+// evaluation.
+//
+// Examples:
+//
+//	srlsim -design srl -suite SFP2K
+//	srlsim -design hier -suite SERVER -uops 500000
+//	srlsim -design large -stq 256 -suite WS -v
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"srlproc"
+)
+
+func main() {
+	design := flag.String("design", "srl", "store design: baseline, large, hier, srl, filtered")
+	suite := flag.String("suite", "SINT2K", "benchmark suite: SFP2K, SINT2K, WEB, MM, PROD, SERVER, WS")
+	stq := flag.Int("stq", 0, "store queue size for -design large (default 1024)")
+	uops := flag.Uint64("uops", 250_000, "measured micro-ops")
+	warm := flag.Uint64("warmup", 50_000, "warmup micro-ops")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	noLCF := flag.Bool("no-lcf", false, "disable the loose check filter (srl)")
+	noIF := flag.Bool("no-indexed-fwd", false, "disable indexed forwarding (srl)")
+	noFC := flag.Bool("no-fc", false, "use the data cache for temporary updates instead of the FC (srl)")
+	verbose := flag.Bool("v", false, "print extra counters")
+	asJSON := flag.Bool("json", false, "emit results as JSON")
+	flag.Parse()
+
+	var d srlproc.StoreDesign
+	switch strings.ToLower(*design) {
+	case "baseline":
+		d = srlproc.DesignBaseline
+	case "large", "ideal":
+		d = srlproc.DesignLargeSTQ
+	case "hier", "hierarchical":
+		d = srlproc.DesignHierarchical
+	case "srl":
+		d = srlproc.DesignSRL
+	case "filtered":
+		d = srlproc.DesignFilteredSTQ
+	default:
+		log.Fatalf("unknown design %q", *design)
+	}
+
+	var su srlproc.Suite
+	found := false
+	for _, s := range srlproc.AllSuites() {
+		if strings.EqualFold(s.String(), *suite) {
+			su = s
+			found = true
+			break
+		}
+	}
+	if !found {
+		log.Fatalf("unknown suite %q", *suite)
+	}
+
+	cfg := srlproc.DefaultConfig(d)
+	cfg.RunUops = *uops
+	cfg.WarmupUops = *warm
+	cfg.Seed = *seed
+	if d == srlproc.DesignLargeSTQ || d == srlproc.DesignFilteredSTQ {
+		cfg.STQSize = 1024
+		if *stq > 0 {
+			cfg.STQSize = *stq
+		}
+	}
+	if *noLCF {
+		cfg.UseLCF = false
+		cfg.UseIndexedFwd = false
+	}
+	if *noIF {
+		cfg.UseIndexedFwd = false
+	}
+	if *noFC {
+		cfg.UseFC = false
+	}
+
+	res, err := srlproc.Run(cfg, su)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		out := map[string]interface{}{
+			"design": d.String(), "suite": su.String(),
+			"cycles": res.Cycles, "uops": res.Uops, "ipc": res.IPC(),
+			"loads": res.Loads, "stores": res.Stores,
+			"redoneStoresPct": res.PctRedoneStores(),
+			"missDepUopsPct":  res.PctMissDependentUops(),
+			"srlStallsPer10k": res.SRLStallsPer10K(),
+			"srlOccupiedPct":  res.PctTimeSRLOccupied(),
+			"restarts":        res.Restarts, "branchMispredicts": res.BranchMispredicts,
+			"memDepViolations": res.MemDepViolations, "snoopViolations": res.SnoopViolations,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Print(res)
+	if d == srlproc.DesignSRL {
+		fmt.Printf("  SRL: redone=%.1f%% stalls/10k=%.1f occupied=%.1f%%\n",
+			res.PctRedoneStores(), res.SRLStallsPer10K(), res.PctTimeSRLOccupied())
+	}
+	if *verbose && res.Counters != nil {
+		fmt.Fprintln(os.Stdout, res.Counters)
+	}
+}

@@ -1,0 +1,118 @@
+// Command traceconv records synthetic workloads into the repository's trace
+// file format and inspects existing trace files. The format (one fixed
+// 44-byte record per micro-op, documented in internal/trace/source.go) is
+// the bridge for driving the simulator from real traces: convert the
+// foreign trace to this format and replay it with srlsim or the library's
+// RunFromSource.
+//
+//	traceconv record -suite SFP2K -n 1000000 -o sfp2k.srlt
+//	traceconv info sfp2k.srlt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"srlproc"
+	"srlproc/internal/isa"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		log.Fatal("usage: traceconv record|info ...")
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	suite := fs.String("suite", "SINT2K", "benchmark suite")
+	n := fs.Uint64("n", 1_000_000, "micro-ops to record")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	out := fs.String("o", "trace.srlt", "output file")
+	fs.Parse(args)
+
+	var su srlproc.Suite
+	found := false
+	for _, s := range srlproc.AllSuites() {
+		if strings.EqualFold(s.String(), *suite) {
+			su, found = s, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown suite %q", *suite)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := srlproc.RecordTrace(f, srlproc.NewSyntheticSource(su, *seed), *n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d %s micro-ops to %s\n", *n, su, *out)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	n := fs.Uint64("n", 0, "inspect at most n records (0 = first pass only)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: traceconv info <file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	records := uint64(st.Size()-8) / 44
+	limit := records
+	if *n > 0 && *n < limit {
+		limit = *n
+	}
+	r, err := srlproc.NewTraceReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var loads, stores, branches, fwd, taken uint64
+	for i := uint64(0); i < limit; i++ {
+		u := r.Next()
+		switch u.Class {
+		case isa.Load:
+			loads++
+			if u.MemSeq != 0 {
+				fwd++
+			}
+		case isa.Store:
+			stores++
+		case isa.Branch:
+			branches++
+			if u.Taken {
+				taken++
+			}
+		}
+	}
+	fmt.Printf("%s: %d records (%d inspected)\n", fs.Arg(0), records, limit)
+	pct := func(x uint64) float64 { return 100 * float64(x) / float64(limit) }
+	fmt.Printf("  loads %.1f%%  stores %.1f%%  branches %.1f%%\n", pct(loads), pct(stores), pct(branches))
+	if loads > 0 {
+		fmt.Printf("  store-forwarding loads: %.1f%% of loads\n", 100*float64(fwd)/float64(loads))
+	}
+	if branches > 0 {
+		fmt.Printf("  branch taken rate: %.1f%%\n", 100*float64(taken)/float64(branches))
+	}
+}

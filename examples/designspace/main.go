@@ -1,0 +1,76 @@
+// Designspace explores the SRL design space beyond the paper's published
+// points: it sweeps the loose check filter size and hashing function
+// (Figure 9's axes) plus the secondary load buffer's associativity and
+// overflow policy on a memory-intensive workload, printing percent speedup
+// over the 48-entry baseline for every point.
+//
+// This is the kind of study a microarchitect would run before committing to
+// structure sizes; the library makes each point a one-call simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srlproc"
+	"srlproc/internal/lsq"
+)
+
+const (
+	runUops = 120_000
+	warmup  = 20_000
+)
+
+func run(cfg srlproc.Config, suite srlproc.Suite) *srlproc.Results {
+	cfg.RunUops = runUops
+	cfg.WarmupUops = warmup
+	res, err := srlproc.Run(cfg, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	suite := srlproc.SFP2K // the suite most sensitive to SRL parameters
+
+	base := run(srlproc.DefaultConfig(srlproc.DesignBaseline), suite)
+	fmt.Printf("suite %s, baseline IPC %.2f\n\n", suite, base.IPC())
+
+	fmt.Println("LCF size x hash (speedup over baseline, cf. Figure 9):")
+	for _, hash := range []lsq.HashKind{srlproc.HashLAB, srlproc.Hash3PAX} {
+		for _, size := range []int{256, 512, 1024, 2048} {
+			cfg := srlproc.DefaultConfig(srlproc.DesignSRL)
+			cfg.LCFSize = size
+			cfg.LCFHash = hash
+			r := run(cfg, suite)
+			fmt.Printf("  LCF %5d %-6s: %+6.1f%%  (stalls/10k %.1f)\n",
+				size, hash, r.SpeedupOver(base), r.SRLStallsPer10K())
+		}
+	}
+
+	fmt.Println("\nSecondary load buffer associativity x overflow policy:")
+	for _, assoc := range []int{4, 8, 16} {
+		for _, pol := range []lsq.OverflowPolicy{lsq.OverflowVictim, lsq.OverflowViolate} {
+			cfg := srlproc.DefaultConfig(srlproc.DesignSRL)
+			cfg.LoadBufAssoc = assoc
+			cfg.LoadBufPolicy = pol
+			name := "victim "
+			if pol == lsq.OverflowViolate {
+				name = "violate"
+			}
+			r := run(cfg, suite)
+			fmt.Printf("  %2d-way %s: %+6.1f%%  (overflow violations %d)\n",
+				assoc, name, r.SpeedupOver(base), r.OverflowViolations)
+		}
+	}
+
+	fmt.Println("\nWrite-after-read order tracker ablation (Section 4.3):")
+	for _, war := range []bool{true, false} {
+		cfg := srlproc.DefaultConfig(srlproc.DesignSRL)
+		cfg.UseWARTracker = war
+		r := run(cfg, suite)
+		fmt.Printf("  WAR tracker %-5v: %+6.1f%%  (memdep violations %d)\n",
+			war, r.SpeedupOver(base), r.MemDepViolations)
+	}
+}

@@ -1,0 +1,36 @@
+// Multicore runs four latency tolerant cores in cycle lockstep with real
+// coherence traffic: every globally visible store one core performs is
+// snooped by the others' secondary load buffers (Section 3's multiprocessor
+// memory ordering). The example sweeps the sharing level and shows
+// consistency violations and their cost emerging from genuine cross-core
+// stores — no synthetic snoop injection involved.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srlproc"
+)
+
+func main() {
+	for _, shared := range []float64{0, 0.05, 0.20} {
+		cfg := srlproc.DefaultMulticoreConfig(srlproc.DesignSRL, srlproc.SERVER)
+		cfg.SharedHotFrac = shared
+		cfg.Core.WarmupUops = 10_000
+		cfg.Core.RunUops = 60_000
+		sys, err := srlproc.NewMulticore(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sharing %.0f%%: aggregate IPC %.2f, snoops %d, consistency violations %d\n",
+			shared*100, res.AggregateIPC(), res.SnoopsDelivered, res.TotalSnoopViolations())
+	}
+	fmt.Println("\nEvery violation above was detected by a set-indexed lookup of a")
+	fmt.Println("secondary load buffer and recovered by a checkpoint restart —")
+	fmt.Println("no fully associative load queue CAM anywhere in the system.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate the paper's SRL design on one benchmark suite and
+// print the headline statistics, then compare it against the 48-entry
+// baseline the paper normalises to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"srlproc"
+)
+
+func main() {
+	suite := srlproc.SINT2K
+
+	// The proposed design: Store Redo Log + LCF + forwarding cache.
+	srlCfg := srlproc.DefaultConfig(srlproc.DesignSRL)
+	srlCfg.RunUops = 150_000
+	srlRes, err := srlproc.Run(srlCfg, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The baseline every figure in the paper normalises to.
+	baseCfg := srlproc.DefaultConfig(srlproc.DesignBaseline)
+	baseCfg.RunUops = 150_000
+	baseRes, err := srlproc.Run(baseCfg, suite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("suite: %s\n\n", suite)
+	fmt.Printf("baseline (48-entry STQ): IPC %.2f\n", baseRes.IPC())
+	fmt.Printf("SRL design:              IPC %.2f (%.1f%% speedup)\n\n",
+		srlRes.IPC(), srlRes.SpeedupOver(baseRes))
+	fmt.Printf("SRL statistics (cf. paper Table 3):\n")
+	fmt.Printf("  redone stores:        %.1f%%\n", srlRes.PctRedoneStores())
+	fmt.Printf("  miss-dependent uops:  %.1f%%\n", srlRes.PctMissDependentUops())
+	fmt.Printf("  load stalls / 10k:    %.1f\n", srlRes.SRLStallsPer10K())
+	fmt.Printf("  time SRL occupied:    %.1f%%\n", srlRes.PctTimeSRLOccupied())
+	fmt.Printf("\nforwarding sources: L1STQ=%d FC=%d indexed=%d\n",
+		srlRes.L1STQForwards, srlRes.FCForwards, srlRes.IndexedForwards)
+}

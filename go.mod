@@ -1,0 +1,3 @@
+module srlproc
+
+go 1.22

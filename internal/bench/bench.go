@@ -1,0 +1,574 @@
+// Package bench defines and runs the paper's experiments: every table and
+// figure of the evaluation section maps to one Run* function returning the
+// same rows/series the paper reports, plus formatting helpers.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"srlproc/internal/core"
+	"srlproc/internal/lsq"
+	"srlproc/internal/power"
+	"srlproc/internal/stats"
+	"srlproc/internal/trace"
+)
+
+// Options control experiment scale (simulated micro-ops per point).
+type Options struct {
+	WarmupUops uint64
+	RunUops    uint64
+	Seed       uint64
+	Parallel   bool // run points on multiple goroutines
+}
+
+// DefaultOptions is sized for minutes-scale full reproduction runs.
+func DefaultOptions() Options {
+	return Options{WarmupUops: 30_000, RunUops: 150_000, Seed: 1, Parallel: true}
+}
+
+// QuickOptions is sized for fast sanity runs and unit tests.
+func QuickOptions() Options {
+	return Options{WarmupUops: 8_000, RunUops: 40_000, Seed: 1, Parallel: true}
+}
+
+func (o Options) apply(cfg core.Config) core.Config {
+	cfg.WarmupUops = o.WarmupUops
+	cfg.RunUops = o.RunUops
+	cfg.Seed = o.Seed
+	return cfg
+}
+
+// runPoint simulates one (config, suite) point.
+func runPoint(cfg core.Config, suite trace.Suite) (*core.Results, error) {
+	c, err := core.New(cfg, suite)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(), nil
+}
+
+// runMatrix runs one configuration per label across all suites, optionally
+// in parallel, returning results[label][suite].
+func runMatrix(o Options, cfgs map[string]core.Config) (map[string]map[trace.Suite]*core.Results, error) {
+	type job struct {
+		label string
+		suite trace.Suite
+	}
+	var jobs []job
+	for label := range cfgs {
+		for _, s := range trace.AllSuites() {
+			jobs = append(jobs, job{label, s})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].label != jobs[j].label {
+			return jobs[i].label < jobs[j].label
+		}
+		return jobs[i].suite < jobs[j].suite
+	})
+
+	out := make(map[string]map[trace.Suite]*core.Results)
+	for label := range cfgs {
+		out[label] = make(map[trace.Suite]*core.Results)
+	}
+	var mu sync.Mutex
+	var firstErr error
+	run := func(j job) {
+		res, err := runPoint(cfgs[j.label], j.suite)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+			return
+		}
+		out[j.label][j.suite] = res
+	}
+	if o.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 8)
+		for _, j := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j job) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(j)
+			}(j)
+		}
+		wg.Wait()
+	} else {
+		for _, j := range jobs {
+			run(j)
+		}
+	}
+	return out, firstErr
+}
+
+// SpeedupSeries is one figure series: percent speedup over baseline per
+// suite.
+type SpeedupSeries struct {
+	Label   string
+	BySuite map[trace.Suite]float64
+}
+
+// FigureResult is a generic speedup figure: several series over the suites.
+type FigureResult struct {
+	Title  string
+	Series []SpeedupSeries
+	// Raw results for deeper inspection: raw[label][suite].
+	Raw map[string]map[trace.Suite]*core.Results
+}
+
+// String renders the figure as a table (suites as rows, series as columns).
+func (f *FigureResult) String() string {
+	headers := []string{"Suite"}
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	t := stats.NewTable(f.Title, headers...)
+	for _, su := range trace.AllSuites() {
+		cells := []interface{}{su.String()}
+		for _, s := range f.Series {
+			cells = append(cells, s.BySuite[su])
+		}
+		t.AddRowf(cells...)
+	}
+	return t.String()
+}
+
+// speedupFigure computes percent speedups of each labelled config over the
+// baseline config, per suite.
+func speedupFigure(o Options, title string, baseline core.Config, labeled []struct {
+	Label string
+	Cfg   core.Config
+}) (*FigureResult, error) {
+	cfgs := map[string]core.Config{"__base__": o.apply(baseline)}
+	for _, lc := range labeled {
+		cfgs[lc.Label] = o.apply(lc.Cfg)
+	}
+	raw, err := runMatrix(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &FigureResult{Title: title, Raw: raw}
+	for _, lc := range labeled {
+		s := SpeedupSeries{Label: lc.Label, BySuite: make(map[trace.Suite]float64)}
+		for _, su := range trace.AllSuites() {
+			s.BySuite[su] = raw[lc.Label][su].SpeedupOver(raw["__base__"][su])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// --- Figure 2: store queue size sweep ---
+
+// Figure2Sizes are the paper's swept store queue sizes.
+var Figure2Sizes = []int{128, 256, 512, 1024}
+
+// RunFigure2 reproduces Figure 2: percent speedup of single-level store
+// queues of 128..1K entries over the 48-entry baseline, per suite.
+func RunFigure2(o Options) (*FigureResult, error) {
+	base := core.DefaultConfig(core.DesignBaseline)
+	var labeled []struct {
+		Label string
+		Cfg   core.Config
+	}
+	for _, size := range Figure2Sizes {
+		cfg := core.DefaultConfig(core.DesignLargeSTQ)
+		cfg.STQSize = size
+		label := fmt.Sprintf("%d-entry STQ", size)
+		if size == 1024 {
+			label = "1K-entry STQ"
+		}
+		labeled = append(labeled, struct {
+			Label string
+			Cfg   core.Config
+		}{label, cfg})
+	}
+	return speedupFigure(o, "Figure 2: impact of store queue size (percent speedup over 48-entry STQ)", base, labeled)
+}
+
+// --- Figure 6: SRL vs hierarchical vs ideal ---
+
+// RunFigure6 reproduces Figure 6: SRL vs the hierarchical store queue vs an
+// ideal (1K-entry, fast) store queue, as percent speedup over the baseline.
+func RunFigure6(o Options) (*FigureResult, error) {
+	base := core.DefaultConfig(core.DesignBaseline)
+	srl := core.DefaultConfig(core.DesignSRL)
+	hier := core.DefaultConfig(core.DesignHierarchical)
+	ideal := core.DefaultConfig(core.DesignLargeSTQ)
+	ideal.STQSize = 1024
+	return speedupFigure(o, "Figure 6: SRL performance comparison (percent speedup over baseline)", base,
+		[]struct {
+			Label string
+			Cfg   core.Config
+		}{
+			{"SRL", srl},
+			{"Hierarchical STQ", hier},
+			{"Ideal STQ", ideal},
+		})
+}
+
+// --- Table 3: SRL statistics ---
+
+// Table3Row is one suite's SRL statistics.
+type Table3Row struct {
+	Suite               trace.Suite
+	RedoneStoresPct     float64
+	MissDepStoresPct    float64
+	MissDepUopsPct      float64
+	SRLLoadStallsPer10K float64
+	PctTimeSRLOccupied  float64
+}
+
+// Table3Result holds all suites' SRL statistics plus raw results.
+type Table3Result struct {
+	Rows []Table3Row
+	Raw  map[trace.Suite]*core.Results
+}
+
+// String renders the table in the paper's format.
+func (t *Table3Result) String() string {
+	tb := stats.NewTable("Table 3: SRL statistics",
+		"Suite", "Redone Stores(%)", "Miss-dep Stores(%)", "Miss-dep Uops(%)", "SRL Load Stalls/10K", "%time SRL occupied")
+	for _, r := range t.Rows {
+		tb.AddRowf(r.Suite.String(), r.RedoneStoresPct, r.MissDepStoresPct, r.MissDepUopsPct,
+			r.SRLLoadStallsPer10K, r.PctTimeSRLOccupied)
+	}
+	return tb.String()
+}
+
+// RunTable3 reproduces Table 3 on the SRL configuration.
+func RunTable3(o Options) (*Table3Result, error) {
+	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
+	raw, err := runMatrix(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table3Result{Raw: raw["srl"]}
+	for _, su := range trace.AllSuites() {
+		r := raw["srl"][su]
+		out.Rows = append(out.Rows, Table3Row{
+			Suite:               su,
+			RedoneStoresPct:     r.PctRedoneStores(),
+			MissDepStoresPct:    r.PctMissDependentStores(),
+			MissDepUopsPct:      r.PctMissDependentUops(),
+			SRLLoadStallsPer10K: r.SRLStallsPer10K(),
+			PctTimeSRLOccupied:  r.PctTimeSRLOccupied(),
+		})
+	}
+	return out, nil
+}
+
+// --- Figure 7: SRL occupancy distribution ---
+
+// Figure7Result holds, per suite, the percent of SRL-occupied time with
+// more than N entries, for the paper's thresholds.
+type Figure7Result struct {
+	Thresholds []uint64
+	BySuite    map[trace.Suite][]float64
+}
+
+// String renders the distribution.
+func (f *Figure7Result) String() string {
+	headers := []string{"Suite"}
+	for _, th := range f.Thresholds {
+		headers = append(headers, fmt.Sprintf(">%d", th))
+	}
+	t := stats.NewTable("Figure 7: SRL occupancy distribution (percent of occupied time)", headers...)
+	for _, su := range trace.AllSuites() {
+		cells := []interface{}{su.String()}
+		for _, v := range f.BySuite[su] {
+			cells = append(cells, v)
+		}
+		t.AddRowf(cells...)
+	}
+	return t.String()
+}
+
+// RunFigure7 reproduces Figure 7 from the SRL configuration's occupancy
+// tracker.
+func RunFigure7(o Options) (*Figure7Result, error) {
+	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
+	raw, err := runMatrix(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure7Result{Thresholds: stats.Figure7Thresholds, BySuite: make(map[trace.Suite][]float64)}
+	for _, su := range trace.AllSuites() {
+		occ := raw["srl"][su].SRLOccupancy
+		var vals []float64
+		for _, th := range out.Thresholds {
+			vals = append(vals, 100*occ.FracOccupiedAbove(th))
+		}
+		out.BySuite[su] = vals
+	}
+	return out, nil
+}
+
+// --- Figure 8: LCF and indexed forwarding ablation ---
+
+// RunFigure8 reproduces Figure 8: SRL, SRL without indexed forwarding, and
+// SRL without the LCF and indexed forwarding, over the baseline.
+func RunFigure8(o Options) (*FigureResult, error) {
+	base := core.DefaultConfig(core.DesignBaseline)
+	full := core.DefaultConfig(core.DesignSRL)
+	noIF := core.DefaultConfig(core.DesignSRL)
+	noIF.UseIndexedFwd = false
+	noLCF := core.DefaultConfig(core.DesignSRL)
+	noLCF.UseIndexedFwd = false
+	noLCF.UseLCF = false
+	return speedupFigure(o, "Figure 8: impact of LCF and indexed forwarding (percent speedup over baseline)", base,
+		[]struct {
+			Label string
+			Cfg   core.Config
+		}{
+			{"SRL", full},
+			{"SRL w/o indexed fwd", noIF},
+			{"SRL w/o LCF+IF", noLCF},
+		})
+}
+
+// --- Figure 9: LCF size and hash sweep ---
+
+// RunFigure9 reproduces Figure 9: LCF sizes 256/2K crossed with LAB and
+// 3-PAX hashing, plus a no-LCF reference, over the baseline.
+func RunFigure9(o Options) (*FigureResult, error) {
+	base := core.DefaultConfig(core.DesignBaseline)
+	mk := func(size int, hash lsq.HashKind) core.Config {
+		cfg := core.DefaultConfig(core.DesignSRL)
+		cfg.LCFSize = size
+		cfg.LCFHash = hash
+		return cfg
+	}
+	noLCF := core.DefaultConfig(core.DesignSRL)
+	noLCF.UseLCF = false
+	noLCF.UseIndexedFwd = false
+	return speedupFigure(o, "Figure 9: LCF size and hashing function impact (percent speedup over baseline)", base,
+		[]struct {
+			Label string
+			Cfg   core.Config
+		}{
+			{"No LCF", noLCF},
+			{"LCF256 + LAB", mk(256, lsq.HashLAB)},
+			{"LCF2K + LAB", mk(2048, lsq.HashLAB)},
+			{"LCF256 + 3-PAX", mk(256, lsq.Hash3PAX)},
+			{"LCF2K + 3-PAX", mk(2048, lsq.Hash3PAX)},
+		})
+}
+
+// --- Figure 10: forwarding cache vs data cache ---
+
+// RunFigure10 reproduces Figure 10: SRL with the separate forwarding cache
+// vs using the data cache for temporary updates, over the baseline.
+func RunFigure10(o Options) (*FigureResult, error) {
+	base := core.DefaultConfig(core.DesignBaseline)
+	fc := core.DefaultConfig(core.DesignSRL)
+	dc := core.DefaultConfig(core.DesignSRL)
+	dc.UseFC = false
+	return speedupFigure(o, "Figure 10: forwarding design option impact (percent speedup over baseline)", base,
+		[]struct {
+			Label string
+			Cfg   core.Config
+		}{
+			{"Separate forwarding cache", fc},
+			{"Data cache for forwarding", dc},
+		})
+}
+
+// --- Section 6.2: power and area ---
+
+// RunPowerArea reproduces the Section 6.2 comparison.
+func RunPowerArea() string {
+	hier, srl, srlFC := power.Section62()
+	var b strings.Builder
+	b.WriteString("Section 6.2: power and area comparison (90nm, calibrated analytical model)\n")
+	for _, r := range []power.Report{hier, srl, srlFC} {
+		b.WriteString("  " + r.String() + "\n")
+	}
+	b.WriteString(fmt.Sprintf("  area reduction: %.1fx   leakage reduction: %.1fx   dynamic reduction: %.1fx\n",
+		hier.AreaMM2/srlFC.AreaMM2, hier.LeakageMW/srlFC.LeakageMW, hier.DynamicMW/srlFC.DynamicMW))
+	return b.String()
+}
+
+// --- Tables 1 and 2 (configuration echoes) ---
+
+// RenderTable1 prints the baseline machine configuration.
+func RenderTable1() string {
+	cfg := core.DefaultConfig(core.DesignSRL)
+	t := stats.NewTable("Table 1: baseline processor model", "Parameter", "Value")
+	add := func(k, v string) { t.AddRow(k, v) }
+	add("Processor frequency", "8 GHz (100ns memory = 800 cycles)")
+	add("Rename/issue/retire width", fmt.Sprintf("%d/%d/%d", cfg.AllocWidth, cfg.IssueWidth, cfg.RetireWidth))
+	add("Branch mispred. penalty", fmt.Sprintf("minimum %d cycles", cfg.MispredictPenalty))
+	add("Scheduling window size", fmt.Sprintf("%d Int, %d FP, %d Mem", cfg.SchedInt, cfg.SchedFP, cfg.SchedMem))
+	add("Map table checkpoints", fmt.Sprintf("%d", cfg.Checkpoints))
+	add("Register file", fmt.Sprintf("%d int, %d fp", cfg.IntRegs, cfg.FPRegs))
+	add("Store buffer size", fmt.Sprintf("%d", cfg.L1STQSize))
+	add("Load buffer", fmt.Sprintf("%d entries", cfg.LQSize))
+	add("Memory dependence pred.", fmt.Sprintf("store sets (%d-entry SSIT)", cfg.StoreSetsSize))
+	add("Branch predictor", "gshare-perceptron hybrid (64K gshare, 256 perceptron)")
+	add("Hardware data prefetcher", fmt.Sprintf("stream-based (%d streams)", cfg.Mem.PrefetchN))
+	add("L1 data cache", fmt.Sprintf("%d KB, %d cycles", cfg.Mem.L1Size/1024, cfg.Mem.L1Latency))
+	add("L2 unified cache", fmt.Sprintf("%d MB, %d cycles", cfg.Mem.L2Size/(1024*1024), cfg.Mem.L2Latency))
+	add("L1/L2 line size", "64 bytes")
+	add("Memory lat (req to use)", fmt.Sprintf("%d cycles (100 ns)", cfg.Mem.MemLatency))
+	return t.String()
+}
+
+// RenderTable2 prints the benchmark suite table.
+func RenderTable2() string {
+	t := stats.NewTable("Table 2: benchmark suites", "Suite", "# of Bench", "Desc./Examples")
+	for _, su := range trace.AllSuites() {
+		p := trace.ProfileFor(su)
+		t.AddRow(p.Name, fmt.Sprintf("%d", p.NumBench), p.Desc)
+	}
+	return t.String()
+}
+
+// --- Energy attribution (extension beyond the paper's static Section 6.2) ---
+
+// EnergyRow is one design's simulated-activity energy on one suite.
+type EnergyRow struct {
+	Design      core.StoreDesign
+	Suite       trace.Suite
+	NJPer1KUops float64
+	CAMSharePct float64
+}
+
+// EnergyResult compares secondary load/store structure dynamic energy,
+// attributed from simulated activity counts via the calibrated
+// per-operation energies of internal/power.
+type EnergyResult struct {
+	Rows []EnergyRow
+}
+
+// String renders the comparison (suites as rows, designs as column pairs).
+func (e *EnergyResult) String() string {
+	t := stats.NewTable("Energy attribution: secondary load/store structures (dynamic, from simulated activity)",
+		"Suite", "Design", "nJ / 1k uops", "CAM share %")
+	for _, r := range e.Rows {
+		t.AddRowf(r.Suite.String(), r.Design.String(), r.NJPer1KUops, r.CAMSharePct)
+	}
+	return t.String()
+}
+
+// RunEnergy runs the hierarchical and SRL designs across all suites and
+// attributes dynamic energy to their structure activity. It quantifies the
+// paper's argument from the simulation itself: the hierarchical design's
+// energy is dominated by CAM comparator activations that the SRL design
+// simply never performs.
+func RunEnergy(o Options) (*EnergyResult, error) {
+	filtered := core.DefaultConfig(core.DesignFilteredSTQ)
+	filtered.STQSize = 1024
+	cfgs := map[string]core.Config{
+		"hier":     o.apply(core.DefaultConfig(core.DesignHierarchical)),
+		"filtered": o.apply(filtered),
+		"srl":      o.apply(core.DefaultConfig(core.DesignSRL)),
+	}
+	raw, err := runMatrix(o, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	out := &EnergyResult{}
+	for _, label := range []string{"hier", "filtered", "srl"} {
+		for _, su := range trace.AllSuites() {
+			r := raw[label][su]
+			a := power.ActivityEnergy{
+				CamEntryOps: r.CamEntryOps,
+				SRLReads:    r.SRLReads,
+				SRLWrites:   r.SRLWrites,
+				LCFProbes:   r.LCFProbes,
+				FCLookups:   r.FCLookups,
+				MTBProbes:   r.MTBProbes,
+				LBEntryCmps: r.LBEntryCmps,
+			}
+			out.Rows = append(out.Rows, EnergyRow{
+				Design:      raw[label][su].Design,
+				Suite:       su,
+				NJPer1KUops: a.TotalPJ() / 1000 / (float64(r.Uops) / 1000),
+				CAMSharePct: a.CAMSharePct(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- Latency tolerance sweep (the paper's framing, quantified) ---
+
+// LatencyPoint is one (memory latency, design) measurement.
+type LatencyPoint struct {
+	Design     core.StoreDesign
+	MemLatency uint64
+	IPC        float64
+}
+
+// LatencyResult holds the tolerance curves.
+type LatencyResult struct {
+	Suite  trace.Suite
+	Points []LatencyPoint
+}
+
+// String renders IPC vs memory latency, one row per latency, one column per
+// design.
+func (l *LatencyResult) String() string {
+	designs := []core.StoreDesign{}
+	lats := []uint64{}
+	seenD := map[core.StoreDesign]bool{}
+	seenL := map[uint64]bool{}
+	for _, p := range l.Points {
+		if !seenD[p.Design] {
+			seenD[p.Design] = true
+			designs = append(designs, p.Design)
+		}
+		if !seenL[p.MemLatency] {
+			seenL[p.MemLatency] = true
+			lats = append(lats, p.MemLatency)
+		}
+	}
+	headers := []string{"MemLat(cyc)"}
+	for _, d := range designs {
+		headers = append(headers, d.String()+" IPC")
+	}
+	t := stats.NewTable(fmt.Sprintf("Latency tolerance on %s (IPC vs memory latency)", l.Suite), headers...)
+	for _, lat := range lats {
+		cells := []interface{}{fmt.Sprintf("%d", lat)}
+		for _, d := range designs {
+			for _, p := range l.Points {
+				if p.Design == d && p.MemLatency == lat {
+					cells = append(cells, fmt.Sprintf("%.2f", p.IPC))
+				}
+			}
+		}
+		t.AddRowf(cells...)
+	}
+	return t.String()
+}
+
+// LatencySweepLatencies are the swept memory latencies in cycles.
+var LatencySweepLatencies = []uint64{200, 400, 800, 1600}
+
+// RunLatencySweep measures how each design's throughput degrades as memory
+// latency grows — the latency tolerance the paper's title claims. The
+// baseline's small store queue caps its in-flight window, so its IPC decays
+// faster with latency than the SRL's (whose secondary buffering scales the
+// window with the miss).
+func RunLatencySweep(o Options, suite trace.Suite) (*LatencyResult, error) {
+	out := &LatencyResult{Suite: suite}
+	for _, d := range []core.StoreDesign{core.DesignBaseline, core.DesignSRL, core.DesignHierarchical} {
+		for _, lat := range LatencySweepLatencies {
+			cfg := o.apply(core.DefaultConfig(d))
+			cfg.Mem.MemLatency = lat
+			res, err := runPoint(cfg, suite)
+			if err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, LatencyPoint{Design: d, MemLatency: lat, IPC: res.IPC()})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Package bpred implements the baseline machine's branch direction
+// predictors: a gshare predictor, a perceptron predictor, and the
+// gshare-perceptron hybrid with a chooser that Table 1 of the paper
+// specifies (64K gshare entries, 256 perceptrons).
+package bpred
+
+// Predictor predicts conditional branch directions and is trained with
+// outcomes. Implementations keep their own global history; Update must be
+// called for every predicted branch, in program order, with the same PC
+// passed to Predict.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint64, taken bool)
+}
+
+// --- gshare ---
+
+// Gshare is the classic global-history XOR-indexed two-bit-counter scheme.
+type Gshare struct {
+	table   []uint8 // 2-bit saturating counters
+	history uint64
+	histLen uint
+	mask    uint64
+}
+
+// NewGshare creates a gshare predictor with entries counters (power of two)
+// and history length histLen bits.
+func NewGshare(entries int, histLen uint) *Gshare {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("bpred: gshare entries must be a positive power of two")
+	}
+	g := &Gshare{
+		table:   make([]uint8, entries),
+		histLen: histLen,
+		mask:    uint64(entries - 1),
+	}
+	for i := range g.table {
+		g.table[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update implements Predictor.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	c := g.table[i]
+	if taken {
+		if c < 3 {
+			g.table[i] = c + 1
+		}
+	} else {
+		if c > 0 {
+			g.table[i] = c - 1
+		}
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & ((1 << g.histLen) - 1)
+}
+
+// --- perceptron ---
+
+// Perceptron is Jiménez & Lin's perceptron predictor: per-PC weight vectors
+// dotted with the global history register.
+type Perceptron struct {
+	weights   [][]int16
+	history   []int8 // +1 taken, -1 not taken
+	threshold int32
+	mask      uint64
+}
+
+// NewPerceptron creates a predictor with rows weight vectors (power of two)
+// over histLen history bits.
+func NewPerceptron(rows int, histLen int) *Perceptron {
+	if rows <= 0 || rows&(rows-1) != 0 {
+		panic("bpred: perceptron rows must be a positive power of two")
+	}
+	p := &Perceptron{
+		weights:   make([][]int16, rows),
+		history:   make([]int8, histLen),
+		threshold: int32(1.93*float64(histLen) + 14), // standard training threshold
+		mask:      uint64(rows - 1),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int16, histLen+1) // +1 for bias weight
+	}
+	for i := range p.history {
+		p.history[i] = -1
+	}
+	return p
+}
+
+func (p *Perceptron) output(pc uint64) int32 {
+	w := p.weights[(pc>>2)&p.mask]
+	y := int32(w[0]) // bias
+	for i, h := range p.history {
+		y += int32(w[i+1]) * int32(h)
+	}
+	return y
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool { return p.output(pc) >= 0 }
+
+// Update implements Predictor.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	y := p.output(pc)
+	pred := y >= 0
+	t := int32(-1)
+	if taken {
+		t = 1
+	}
+	if pred != taken || abs32(y) <= p.threshold {
+		w := p.weights[(pc>>2)&p.mask]
+		w[0] = satAdd(w[0], int16(t))
+		for i, h := range p.history {
+			w[i+1] = satAdd(w[i+1], int16(t*int32(h)))
+		}
+	}
+	copy(p.history, p.history[1:])
+	if taken {
+		p.history[len(p.history)-1] = 1
+	} else {
+		p.history[len(p.history)-1] = -1
+	}
+}
+
+// --- hybrid ---
+
+// Hybrid combines gshare and perceptron with a per-PC two-bit chooser,
+// matching the "gshare-perceptron hybrid" of Table 1.
+type Hybrid struct {
+	g       *Gshare
+	p       *Perceptron
+	chooser []uint8
+	mask    uint64
+}
+
+// NewHybrid creates the Table 1 hybrid: a 64K-entry gshare and 256
+// perceptrons, with a 4K-entry chooser.
+func NewHybrid() *Hybrid {
+	return NewHybridSized(64*1024, 16, 256, 32, 4096)
+}
+
+// NewHybridSized creates a hybrid with explicit component sizes.
+func NewHybridSized(gshareEntries int, gshareHist uint, perceptrons, percHist, chooserEntries int) *Hybrid {
+	if chooserEntries <= 0 || chooserEntries&(chooserEntries-1) != 0 {
+		panic("bpred: chooser entries must be a positive power of two")
+	}
+	h := &Hybrid{
+		g:       NewGshare(gshareEntries, gshareHist),
+		p:       NewPerceptron(perceptrons, percHist),
+		chooser: make([]uint8, chooserEntries),
+		mask:    uint64(chooserEntries - 1),
+	}
+	for i := range h.chooser {
+		h.chooser[i] = 2 // weakly prefer perceptron
+	}
+	return h
+}
+
+// Predict implements Predictor.
+func (h *Hybrid) Predict(pc uint64) bool {
+	if h.chooser[(pc>>2)&h.mask] >= 2 {
+		return h.p.Predict(pc)
+	}
+	return h.g.Predict(pc)
+}
+
+// Update implements Predictor.
+func (h *Hybrid) Update(pc uint64, taken bool) {
+	gp := h.g.Predict(pc)
+	pp := h.p.Predict(pc)
+	i := (pc >> 2) & h.mask
+	c := h.chooser[i]
+	// Train chooser toward whichever component was right (when they differ).
+	if pp == taken && gp != taken && c < 3 {
+		h.chooser[i] = c + 1
+	} else if gp == taken && pp != taken && c > 0 {
+		h.chooser[i] = c - 1
+	}
+	h.g.Update(pc, taken)
+	h.p.Update(pc, taken)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func satAdd(a, b int16) int16 {
+	s := int32(a) + int32(b)
+	const lim = 127 // 8-bit weights stored in int16 for simplicity
+	if s > lim {
+		return lim
+	}
+	if s < -lim {
+		return -lim
+	}
+	return int16(s)
+}

@@ -1,0 +1,315 @@
+// Package cachesim models the baseline memory hierarchy of Table 1: a
+// 32KB 3-cycle L1 data cache, a 1MB 8-cycle unified L2, 64-byte lines,
+// 100ns memory, a 16-stream hardware prefetcher, and a file of miss status
+// holding registers that bounds memory-level parallelism. It also provides
+// the per-checkpoint speculative line state that Section 4.3 describes for
+// the "use the data cache for temporary updates" design variant evaluated
+// in Section 6.5 (Figure 10).
+package cachesim
+
+import (
+	"fmt"
+
+	"srlproc/internal/isa"
+)
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	ready uint64 // cycle at which the fill completes (0 = long resident)
+	// Speculative state for checkpointed store updates (Section 4.3):
+	// spec marks a line holding an uncommitted store's data; specCkpt is the
+	// checkpoint that owns the speculative version (only one version of a
+	// block is allowed). specTemp additionally marks a *temporary* update —
+	// an independent store's pre-redo write in the §6.5 "use the data cache
+	// for forwarding" variant — which is discarded when the redo begins.
+	spec     bool
+	specTemp bool
+	specCkpt int
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level with
+// LRU replacement.
+type Cache struct {
+	name     string
+	sets     [][]line // each set ordered MRU-first
+	assoc    int
+	numSets  int
+	latency  uint64
+	accesses uint64
+	misses   uint64
+	wbacks   uint64
+}
+
+// NewCache builds a cache of sizeBytes capacity and the given associativity
+// and hit latency. sizeBytes/assoc/line must yield a power-of-two set count.
+func NewCache(name string, sizeBytes, assoc int, latency uint64) *Cache {
+	numSets := sizeBytes / (assoc * isa.CacheLineSize)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cachesim: %s: set count %d not a positive power of two", name, numSets))
+	}
+	c := &Cache{name: name, assoc: assoc, numSets: numSets, latency: latency}
+	c.sets = make([][]line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, 0, assoc)
+	}
+	return c
+}
+
+// Latency returns the hit latency in cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// Accesses and Misses return raw counts; Writebacks the dirty evictions.
+func (c *Cache) Accesses() uint64   { return c.accesses }
+func (c *Cache) Misses() uint64     { return c.misses }
+func (c *Cache) Writebacks() uint64 { return c.wbacks }
+
+func (c *Cache) setIdx(addr uint64) uint64 {
+	return (addr / isa.CacheLineSize) % uint64(c.numSets)
+}
+
+// Lookup probes for addr's line. On a hit it refreshes LRU and returns the
+// cycle the data is available (max of now+latency and the line's fill
+// ready time). It does not allocate.
+func (c *Cache) Lookup(cycle, addr uint64) (hit bool, ready uint64) {
+	c.accesses++
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			l := set[i]
+			copy(set[1:i+1], set[:i]) // move to MRU
+			set[0] = l
+			r := cycle + c.latency
+			if l.ready > r {
+				r = l.ready
+			}
+			return true, r
+		}
+	}
+	c.misses++
+	return false, 0
+}
+
+// Contains reports presence without touching LRU or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	for i := range c.sets[si] {
+		if c.sets[si][i].valid && c.sets[si][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Evicted describes a line displaced by Insert.
+type Evicted struct {
+	Addr  uint64
+	Dirty bool
+	Valid bool
+}
+
+// Insert fills addr's line (MRU position), evicting LRU if needed.
+// readyAt is the cycle the fill data arrives; dirty marks an immediate
+// write-allocate store.
+func (c *Cache) Insert(addr, readyAt uint64, dirty bool) Evicted {
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	set := c.sets[si]
+	// Already present (e.g. racing fills): just update.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = set[i].dirty || dirty
+			if set[i].ready < readyAt {
+				set[i].ready = readyAt
+			}
+			return Evicted{}
+		}
+	}
+	nl := line{tag: tag, valid: true, dirty: dirty, ready: readyAt, specCkpt: -1}
+	if len(set) < c.assoc {
+		c.sets[si] = append(set, line{})
+		set = c.sets[si]
+		copy(set[1:], set[:len(set)-1])
+		set[0] = nl
+		return Evicted{}
+	}
+	victim := set[len(set)-1]
+	copy(set[1:], set[:len(set)-1])
+	set[0] = nl
+	ev := Evicted{Valid: victim.valid, Dirty: victim.dirty}
+	if victim.valid {
+		ev.Addr = (victim.tag*uint64(c.numSets) + si) * isa.CacheLineSize
+		if victim.dirty {
+			c.wbacks++
+		}
+	}
+	return ev
+}
+
+// MarkDirty sets the dirty bit on addr's line if present.
+func (c *Cache) MarkDirty(addr uint64) {
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	for i := range c.sets[si] {
+		if c.sets[si][i].valid && c.sets[si][i].tag == tag {
+			c.sets[si][i].dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate drops addr's line, returning whether it was present and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			d := set[i].dirty
+			set[i].valid = false
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// --- speculative (checkpointed) line state, Section 4.3 ---
+
+// SpecWriteResult describes what a speculative store update had to do.
+type SpecWriteResult struct {
+	// NeededWriteback is true when the target line was dirty and its
+	// pre-update contents had to be written back to the next level first
+	// (Section 6.5's added latency).
+	NeededWriteback bool
+	// Conflict is true when another checkpoint already owns a speculative
+	// version of this block; the store must stall (only one version of a
+	// given cache block is allowed). OwnerCkpt identifies that checkpoint
+	// so the caller can resolve conflicts against checkpoints that have
+	// since committed or been squashed.
+	Conflict  bool
+	OwnerCkpt int
+	// OwnerTemp is true when the conflicting speculative version is a
+	// temporary (pre-redo) update, which the in-order redo supersedes.
+	OwnerTemp bool
+	// Present is false when the line is not resident at all (the caller
+	// must fetch it first).
+	Present bool
+}
+
+// SpecWrite applies a speculative store update owned by ckpt to addr's
+// line, implementing the one-version rule of Section 4.3. temp marks a
+// temporary (pre-redo) update that DiscardSpecTemp will drop.
+func (c *Cache) SpecWrite(addr uint64, ckpt int, temp bool) SpecWriteResult {
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	set := c.sets[si]
+	for i := range set {
+		if !set[i].valid || set[i].tag != tag {
+			continue
+		}
+		if set[i].spec && set[i].specCkpt != ckpt {
+			return SpecWriteResult{Present: true, Conflict: true, OwnerCkpt: set[i].specCkpt, OwnerTemp: set[i].specTemp}
+		}
+		res := SpecWriteResult{Present: true}
+		if set[i].dirty && !set[i].spec {
+			// Write the committed dirty data back before overwriting it
+			// speculatively, so discarding the update cannot lose it.
+			res.NeededWriteback = true
+			c.wbacks++
+			set[i].dirty = false
+		}
+		set[i].spec = true
+		set[i].specTemp = set[i].specTemp || temp
+		set[i].specCkpt = ckpt
+		return res
+	}
+	return SpecWriteResult{Present: false}
+}
+
+// CommitSpec bulk-clears speculative ownership for checkpoint ckpt, marking
+// those blocks committed (and dirty, since they hold store data).
+func (c *Cache) CommitSpec(ckpt int) (committed int) {
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			l := &c.sets[si][i]
+			if l.valid && l.spec && l.specCkpt == ckpt {
+				l.spec = false
+				l.specTemp = false
+				l.specCkpt = -1
+				l.dirty = true
+				committed++
+			}
+		}
+	}
+	return committed
+}
+
+// DiscardSpec bulk-invalidates every speculative line, returning the
+// invalidated line addresses (the pre-store architectural data still exists
+// at the next level; the caller re-registers it there).
+func (c *Cache) DiscardSpec() []uint64 {
+	return c.discardSpecIf(func(l *line) bool { return true })
+}
+
+// DiscardSpecTemp invalidates only temporary (pre-redo) speculative lines —
+// the redo-phase discard of §6.5; the next access to any such block
+// re-misses to the next level, the extra misses the paper describes.
+func (c *Cache) DiscardSpecTemp() []uint64 {
+	return c.discardSpecIf(func(l *line) bool { return l.specTemp })
+}
+
+// DiscardSpecFrom invalidates speculative lines owned by checkpoint ids >=
+// minCkpt (a checkpoint restart squashing those checkpoints).
+func (c *Cache) DiscardSpecFrom(minCkpt int) []uint64 {
+	return c.discardSpecIf(func(l *line) bool { return l.specCkpt >= minCkpt })
+}
+
+func (c *Cache) discardSpecIf(pred func(*line) bool) []uint64 {
+	var addrs []uint64
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			l := &c.sets[si][i]
+			if l.valid && l.spec && pred(l) {
+				addrs = append(addrs, (l.tag*uint64(c.numSets)+uint64(si))*isa.CacheLineSize)
+				l.valid = false
+				l.spec = false
+				l.specTemp = false
+				l.specCkpt = -1
+			}
+		}
+	}
+	return addrs
+}
+
+// HasTempSpec reports whether addr's line is resident and holds a
+// temporary (pre-redo) speculative update — the §6.5 variant's forwarding
+// source.
+func (c *Cache) HasTempSpec(addr uint64) bool {
+	si := c.setIdx(addr)
+	tag := addr / isa.CacheLineSize / uint64(c.numSets)
+	for i := range c.sets[si] {
+		l := &c.sets[si][i]
+		if l.valid && l.tag == tag {
+			return l.spec && l.specTemp
+		}
+	}
+	return false
+}
+
+// SpecLines returns how many lines are currently speculative.
+func (c *Cache) SpecLines() int {
+	n := 0
+	for si := range c.sets {
+		for i := range c.sets[si] {
+			if c.sets[si][i].valid && c.sets[si][i].spec {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,232 @@
+package cachesim
+
+import "testing"
+
+func newSmall() *Cache { return NewCache("t", 4*64*2, 2, 3) } // 4 sets, 2-way
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := newSmall()
+	if hit, _ := c.Lookup(10, 0x1000); hit {
+		t.Fatal("cold lookup hit")
+	}
+	c.Insert(0x1000, 10, false)
+	hit, ready := c.Lookup(20, 0x1000)
+	if !hit {
+		t.Fatal("inserted line missed")
+	}
+	if ready != 23 {
+		t.Fatalf("ready %d, want cycle+latency", ready)
+	}
+	if c.Accesses() != 2 || c.Misses() != 1 {
+		t.Fatalf("counters %d/%d", c.Accesses(), c.Misses())
+	}
+}
+
+func TestFutureReadyPropagates(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 500, false) // fill arrives at cycle 500
+	_, ready := c.Lookup(100, 0x1000)
+	if ready != 500 {
+		t.Fatalf("pending fill ready %d, want 500", ready)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newSmall() // 2-way; lines 0x0000, 0x0100, 0x0200 share set 0 (4 sets x 64B)
+	c.Insert(0x0000, 0, false)
+	c.Insert(0x0100, 0, false)
+	c.Lookup(5, 0x0000) // make 0x0000 MRU
+	ev := c.Insert(0x0200, 10, false)
+	if !ev.Valid || ev.Addr != 0x0100 {
+		t.Fatalf("evicted %+v, want LRU 0x0100", ev)
+	}
+	if !c.Contains(0x0000) || c.Contains(0x0100) {
+		t.Fatal("wrong residency after eviction")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x0000, 0, true)
+	c.Insert(0x0100, 0, false)
+	ev := c.Insert(0x0200, 0, false)
+	if !ev.Dirty {
+		t.Fatal("dirty victim not reported")
+	}
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks %d", c.Writebacks())
+	}
+}
+
+func TestMarkDirtyAndInvalidate(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 0, false)
+	c.MarkDirty(0x1000)
+	present, dirty := c.Invalidate(0x1000)
+	if !present || !dirty {
+		t.Fatalf("invalidate: present=%v dirty=%v", present, dirty)
+	}
+	if c.Contains(0x1000) {
+		t.Fatal("line still present after invalidate")
+	}
+}
+
+func TestInsertExistingMerges(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 100, false)
+	ev := c.Insert(0x1000, 200, true) // racing fill: later ready, dirty
+	if ev.Valid {
+		t.Fatal("merging insert evicted something")
+	}
+	_, ready := c.Lookup(0, 0x1000)
+	if ready != 200 {
+		t.Fatalf("merged ready %d", ready)
+	}
+}
+
+// --- speculative line state (Section 4.3) ---
+
+func TestSpecWriteOneVersionRule(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 0, false)
+	if r := c.SpecWrite(0x1000, 5, false); !r.Present || r.Conflict {
+		t.Fatalf("first spec write: %+v", r)
+	}
+	// Same checkpoint may write again.
+	if r := c.SpecWrite(0x1000, 5, false); r.Conflict {
+		t.Fatal("same-checkpoint rewrite conflicted")
+	}
+	// A different checkpoint must stall.
+	r := c.SpecWrite(0x1000, 6, false)
+	if !r.Conflict || r.OwnerCkpt != 5 {
+		t.Fatalf("one-version rule not enforced: %+v", r)
+	}
+}
+
+func TestSpecWriteDirtyWritebackFirst(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 0, true) // committed dirty data
+	r := c.SpecWrite(0x1000, 1, false)
+	if !r.NeededWriteback {
+		t.Fatal("dirty line speculatively overwritten without writeback")
+	}
+	if c.Writebacks() != 1 {
+		t.Fatalf("writebacks %d", c.Writebacks())
+	}
+	// A second spec write must not write back again.
+	if r := c.SpecWrite(0x1000, 1, false); r.NeededWriteback {
+		t.Fatal("double writeback")
+	}
+}
+
+func TestSpecWriteAbsentLine(t *testing.T) {
+	c := newSmall()
+	if r := c.SpecWrite(0x1000, 1, false); r.Present {
+		t.Fatal("absent line reported present")
+	}
+}
+
+func TestCommitSpecMakesDirty(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 0, false)
+	c.SpecWrite(0x1000, 3, false)
+	if n := c.CommitSpec(3); n != 1 {
+		t.Fatalf("committed %d", n)
+	}
+	// Committed store data is architectural: evicting it must write back.
+	c.Insert(0x0000, 0, false) // same set
+	ev1 := c.Insert(0x0100+0x1000%0x100, 0, false)
+	_ = ev1
+	if c.SpecLines() != 0 {
+		t.Fatal("spec lines remain after commit")
+	}
+	// A new checkpoint can now spec-write it.
+	if r := c.SpecWrite(0x1000, 9, false); r.Conflict {
+		t.Fatal("committed line still owned")
+	}
+}
+
+func TestDiscardSpecTempOnlyDropsTemps(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 0, false)
+	c.Insert(0x2000, 0, false)
+	c.SpecWrite(0x1000, 1, true)  // temporary update (§6.5)
+	c.SpecWrite(0x2000, 1, false) // redo (non-temp) update
+	addrs := c.DiscardSpecTemp()
+	if len(addrs) != 1 || addrs[0] != 0x1000 {
+		t.Fatalf("temp discard returned %v", addrs)
+	}
+	if c.Contains(0x1000) {
+		t.Fatal("temp line still valid")
+	}
+	if !c.Contains(0x2000) {
+		t.Fatal("redo line was dropped")
+	}
+}
+
+func TestDiscardSpecFrom(t *testing.T) {
+	c := newSmall()
+	c.Insert(0x1000, 0, false)
+	c.Insert(0x2000, 0, false)
+	c.SpecWrite(0x1000, 4, false)
+	c.SpecWrite(0x2000, 7, false)
+	addrs := c.DiscardSpecFrom(5) // squash checkpoints >= 5
+	if len(addrs) != 1 || addrs[0] != 0x2000 {
+		t.Fatalf("squash discard returned %v", addrs)
+	}
+	if !c.Contains(0x1000) || c.Contains(0x2000) {
+		t.Fatal("wrong lines discarded")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two set count did not panic")
+		}
+	}()
+	NewCache("bad", 3*64, 1, 1)
+}
+
+// TestLRUMatchesReference checks the cache's hit/miss stream against a
+// straightforward reference LRU model over random traffic.
+func TestLRUMatchesReference(t *testing.T) {
+	c := NewCache("p", 8*64*4, 4, 1) // 8 sets, 4-way
+	type key struct{ set, tag uint64 }
+	ref := map[uint64][]uint64{} // set -> tags, MRU first
+	rnd := uint64(0x12345)
+	next := func(n uint64) uint64 {
+		rnd ^= rnd << 13
+		rnd ^= rnd >> 7
+		rnd ^= rnd << 17
+		return rnd % n
+	}
+	for i := 0; i < 20_000; i++ {
+		addr := next(64) * 64 // 64 distinct lines over 8 sets
+		set := (addr / 64) % 8
+		tag := addr / 64 / 8
+		// Reference lookup.
+		tags := ref[set]
+		refHit := false
+		for j, tg := range tags {
+			if tg == tag {
+				refHit = true
+				copy(tags[1:j+1], tags[:j])
+				tags[0] = tag
+				break
+			}
+		}
+		hit, _ := c.Lookup(uint64(i), addr)
+		if hit != refHit {
+			t.Fatalf("access %d addr %#x: cache hit=%v reference=%v", i, addr, hit, refHit)
+		}
+		if !hit {
+			c.Insert(addr, uint64(i), false)
+			tags = append([]uint64{tag}, tags...)
+			if len(tags) > 4 {
+				tags = tags[:4]
+			}
+			ref[set] = tags
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package cachesim
+
+import "srlproc/internal/isa"
+
+// AccessResult reports the outcome of a hierarchy access.
+type AccessResult struct {
+	Done     uint64 // cycle the data is available / write completes
+	Level    int    // 1 = L1 hit, 2 = L2 hit, 3 = memory
+	MSHRFull bool   // true if the access could not start (retry later)
+}
+
+// Config sizes the hierarchy; zero values take Table 1 defaults via
+// DefaultConfig.
+type Config struct {
+	L1Size     int
+	L1Assoc    int
+	L1Latency  uint64
+	L2Size     int
+	L2Assoc    int
+	L2Latency  uint64
+	MemLatency uint64 // 100ns at 8GHz = 800 cycles
+	MSHRs      int    // outstanding line misses to memory
+	PrefetchOn bool
+	PrefetchN  int // stream slots
+	PrefetchD  int // prefetch depth (lines ahead)
+}
+
+// DefaultConfig returns the Table 1 memory hierarchy.
+func DefaultConfig() Config {
+	return Config{
+		L1Size: 32 * 1024, L1Assoc: 4, L1Latency: 3,
+		L2Size: 1024 * 1024, L2Assoc: 8, L2Latency: 8,
+		MemLatency: 800,
+		MSHRs:      32,
+		PrefetchOn: true, PrefetchN: 16, PrefetchD: 12,
+	}
+}
+
+// Hierarchy is the two-level data cache plus memory, with an MSHR file that
+// merges and bounds outstanding memory misses (this is what creates
+// memory-level parallelism, the resource the latency tolerant processor
+// exploits) and an optional stream prefetcher.
+type Hierarchy struct {
+	L1  *Cache
+	L2  *Cache
+	cfg Config
+	pf  *StreamPrefetcher
+
+	// Diagnostics: evictions of low-address (hot region) lines.
+	L2EvictHot uint64
+
+	// mshrs maps outstanding miss line address -> fill completion cycle.
+	mshrs map[uint64]uint64
+
+	demandMisses   uint64
+	memAccesses    uint64
+	mshrFullEvents uint64
+	prefFills      uint64
+}
+
+// NewHierarchy builds the hierarchy from cfg.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		L1:    NewCache("L1D", cfg.L1Size, cfg.L1Assoc, cfg.L1Latency),
+		L2:    NewCache("L2", cfg.L2Size, cfg.L2Assoc, cfg.L2Latency),
+		cfg:   cfg,
+		mshrs: make(map[uint64]uint64),
+	}
+	if cfg.PrefetchOn {
+		h.pf = NewStreamPrefetcher(cfg.PrefetchN, cfg.PrefetchD)
+	}
+	return h
+}
+
+// MemAccesses returns demand fetches that went to memory.
+func (h *Hierarchy) MemAccesses() uint64 { return h.memAccesses }
+
+// DemandMisses returns demand (non-prefetch) misses to memory.
+func (h *Hierarchy) DemandMisses() uint64 { return h.demandMisses }
+
+// MSHRFullEvents returns how many accesses were rejected for lack of MSHRs.
+func (h *Hierarchy) MSHRFullEvents() uint64 { return h.mshrFullEvents }
+
+// PrefetchIssued returns prefetch lines requested.
+func (h *Hierarchy) PrefetchIssued() uint64 {
+	if h.pf == nil {
+		return 0
+	}
+	return h.pf.Issued()
+}
+
+func (h *Hierarchy) pruneMSHRs(cycle uint64) {
+	if len(h.mshrs) == 0 {
+		return
+	}
+	for a, done := range h.mshrs {
+		if done <= cycle {
+			delete(h.mshrs, a)
+		}
+	}
+}
+
+// Access performs a demand read (write=false) or write (write=true) of addr
+// at the given cycle. Writes are write-allocate: a missing line is fetched
+// then dirtied. Level reports where the data was found.
+func (h *Hierarchy) Access(cycle, addr uint64, write bool) AccessResult {
+	la := isa.LineAddr(addr)
+	if hit, ready := h.L1.Lookup(cycle, addr); hit {
+		if write {
+			h.L1.MarkDirty(addr)
+		}
+		return AccessResult{Done: ready, Level: 1}
+	}
+	// L1 miss: consult prefetcher on the demand miss stream.
+	if h.pf != nil {
+		for _, pl := range h.pf.OnMiss(addr, cycle) {
+			h.prefetchLine(cycle, pl)
+		}
+	}
+	if hit, ready := h.L2.Lookup(cycle, addr); hit {
+		// Fill L1 from L2.
+		done := ready + h.cfg.L1Latency
+		h.fillL1(la, done, write)
+		return AccessResult{Done: done, Level: 2}
+	}
+	// Memory access, merged through the MSHR file.
+	h.pruneMSHRs(cycle)
+	_ = la
+	if done, ok := h.mshrs[la]; ok {
+		d := done + h.cfg.L1Latency
+		h.fillL1(la, d, write)
+		return AccessResult{Done: d, Level: 3}
+	}
+	if len(h.mshrs) >= h.cfg.MSHRs {
+		h.mshrFullEvents++
+		return AccessResult{MSHRFull: true}
+	}
+	h.demandMisses++
+	h.memAccesses++
+	fill := cycle + h.cfg.MemLatency
+	h.mshrs[la] = fill
+	if ev := h.L2.Insert(la, fill, false); ev.Valid && ev.Addr < 0x4000_0000 {
+		h.L2EvictHot++
+	}
+	done := fill + h.cfg.L1Latency
+	h.fillL1(la, done, write)
+	return AccessResult{Done: done, Level: 3}
+}
+
+func (h *Hierarchy) fillL1(la, ready uint64, dirty bool) {
+	ev := h.L1.Insert(la, ready, dirty)
+	if ev.Valid {
+		// Victim path: dirty lines write back; clean victims also refresh
+		// the L2 copy (pseudo-inclusive — long-L1-resident lines would
+		// otherwise silently LRU out of L2 and re-miss to memory).
+		h.L2.Insert(ev.Addr, ready, ev.Dirty)
+	}
+}
+
+// DiscardSpecInto invalidates speculative L1 lines selected by which
+// ("from"/"temp"/"all") and re-registers their pre-store architectural data
+// in L2 (the committed copy was written back before the speculative
+// overwrite). Returns the number of lines discarded.
+func (h *Hierarchy) DiscardSpecInto(cycle uint64, addrs []uint64) int {
+	for _, a := range addrs {
+		h.L2.Insert(a, cycle, false)
+	}
+	return len(addrs)
+}
+
+func (h *Hierarchy) prefetchLine(cycle, addr uint64) {
+	la := isa.LineAddr(addr)
+	if h.L2.Contains(la) {
+		return
+	}
+	h.pruneMSHRs(cycle)
+	if _, ok := h.mshrs[la]; ok {
+		return
+	}
+	if len(h.mshrs) >= h.cfg.MSHRs {
+		return // prefetches never steal the last MSHRs
+	}
+	h.memAccesses++
+	h.prefFills++
+	fill := cycle + h.cfg.MemLatency
+	h.mshrs[la] = fill
+	h.L2.Insert(la, fill, false)
+}
+
+// WouldMissToMemory probes (without side effects) whether a read of addr
+// would have to go to DRAM right now. The core uses this to decide whether
+// a load starts a long-latency miss (and thus poisons its destination).
+func (h *Hierarchy) WouldMissToMemory(addr uint64) bool {
+	la := isa.LineAddr(addr)
+	if h.L1.Contains(la) || h.L2.Contains(la) {
+		return false
+	}
+	_, pending := h.mshrs[la]
+	return !pending
+}
+
+// ProbeState classifies a line's current residence for diagnostics:
+// "l1", "l2", "mshr", or "cold".
+func (h *Hierarchy) ProbeState(addr uint64) string {
+	la := isa.LineAddr(addr)
+	if h.L1.Contains(la) {
+		return "l1"
+	}
+	if h.L2.Contains(la) {
+		return "l2"
+	}
+	if _, ok := h.mshrs[la]; ok {
+		return "mshr"
+	}
+	return "cold"
+}
+
+// Snoop invalidates addr's line in both levels (an external store took
+// ownership). Returns whether any level held the line.
+func (h *Hierarchy) Snoop(addr uint64) bool {
+	la := isa.LineAddr(addr)
+	p1, _ := h.L1.Invalidate(la)
+	p2, _ := h.L2.Invalidate(la)
+	return p1 || p2
+}

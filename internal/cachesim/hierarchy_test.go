@@ -1,0 +1,193 @@
+package cachesim
+
+import "testing"
+
+func smallHier() *Hierarchy {
+	cfg := DefaultConfig()
+	cfg.PrefetchOn = false
+	return NewHierarchy(cfg)
+}
+
+func TestAccessLevels(t *testing.T) {
+	h := smallHier()
+	r := h.Access(100, 0x1000, false)
+	if r.Level != 3 {
+		t.Fatalf("cold access level %d", r.Level)
+	}
+	if r.Done != 100+800+3 {
+		t.Fatalf("memory access done %d", r.Done)
+	}
+	// After the fill time, both levels hit.
+	r = h.Access(2000, 0x1000, false)
+	if r.Level != 1 || r.Done != 2003 {
+		t.Fatalf("warm access level=%d done=%d", r.Level, r.Done)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := smallHier()
+	h.Access(0, 0x1000, false)
+	// Evict from L1 by filling its set (L1: 32KB/4way/64B = 128 sets;
+	// conflicting addresses are 128*64=8192 apart).
+	for i := 1; i <= 4; i++ {
+		h.Access(1000, uint64(0x1000+i*8192), false)
+	}
+	r := h.Access(5000, 0x1000, false)
+	if r.Level != 2 {
+		t.Fatalf("expected L2 hit after L1 eviction, got level %d", r.Level)
+	}
+}
+
+func TestMSHRMerging(t *testing.T) {
+	h := smallHier()
+	r1 := h.Access(100, 0x1000, false)
+	r2 := h.Access(150, 0x1008, false) // same line, 50 cycles later
+	if h.DemandMisses() != 1 {
+		t.Fatalf("merged access counted as a new miss (%d)", h.DemandMisses())
+	}
+	if r2.Done != r1.Done {
+		t.Fatalf("merged access fill %d vs %d", r2.Done, r1.Done)
+	}
+}
+
+func TestMSHRFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchOn = false
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg)
+	h.Access(100, 0x10000, false)
+	h.Access(100, 0x20000, false)
+	r := h.Access(100, 0x30000, false)
+	if !r.MSHRFull {
+		t.Fatal("third concurrent miss admitted with 2 MSHRs")
+	}
+	if h.MSHRFullEvents() != 1 {
+		t.Fatalf("MSHRFullEvents %d", h.MSHRFullEvents())
+	}
+	// Once the fills complete, new misses are admitted again.
+	r = h.Access(2000, 0x30000, false)
+	if r.MSHRFull {
+		t.Fatal("MSHRs not freed after fill time")
+	}
+}
+
+func TestWriteAllocatesAndDirties(t *testing.T) {
+	h := smallHier()
+	h.Access(0, 0x1000, true)
+	// L1 holds the line dirty: evicting it must push it to L2 dirty and
+	// count a writeback.
+	for i := 1; i <= 4; i++ {
+		h.Access(1000, uint64(0x1000+i*8192), false)
+	}
+	if h.L1.Writebacks() != 1 {
+		t.Fatalf("L1 writebacks %d", h.L1.Writebacks())
+	}
+}
+
+func TestSnoopInvalidatesBothLevels(t *testing.T) {
+	h := smallHier()
+	h.Access(0, 0x1000, false)
+	if !h.Snoop(0x1000) {
+		t.Fatal("snoop missed a resident line")
+	}
+	if h.ProbeState(0x1000) == "l1" || h.ProbeState(0x1000) == "l2" {
+		t.Fatal("line survived snoop")
+	}
+}
+
+func TestPseudoInclusiveVictims(t *testing.T) {
+	// Clean L1 victims must re-register in L2 so long-L1-resident lines
+	// (whose L2 copies age out, since L1 hits don't refresh L2 LRU) never
+	// silently fall all the way to memory. Because L1 index bits nest
+	// inside L2 index bits, any traffic that could age a line out of its
+	// L2 set necessarily evicts it from L1 first — and that eviction
+	// re-registers it. Verify the re-registration directly: drop the L2
+	// copy, then evict the L1 copy and check it lands back in L2.
+	h := smallHier()
+	h.Access(0, 0x1000, false) // resident in L1+L2
+	h.L2.Invalidate(0x1000)    // L2 copy aged out
+	for i := 1; i <= 4; i++ {
+		h.Access(2000, uint64(0x1000+i*8192), false) // evict from L1 (4-way)
+	}
+	if h.L1.Contains(0x1000) {
+		t.Fatal("test setup: line still in L1")
+	}
+	if !h.L2.Contains(0x1000) {
+		t.Fatal("clean L1 victim not re-registered in L2")
+	}
+}
+
+func TestWouldMissToMemory(t *testing.T) {
+	h := smallHier()
+	if !h.WouldMissToMemory(0x5000) {
+		t.Fatal("cold line reported warm")
+	}
+	h.Access(0, 0x5000, false)
+	if h.WouldMissToMemory(0x5000) {
+		t.Fatal("pending/resident line reported cold")
+	}
+}
+
+func TestDiscardSpecInto(t *testing.T) {
+	h := smallHier()
+	h.Access(0, 0x1000, false)
+	h.L1.SpecWrite(0x1000, 1, false)
+	h.L2.Invalidate(0x1000)
+	addrs := h.L1.DiscardSpecFrom(0)
+	if n := h.DiscardSpecInto(100, addrs); n != 1 {
+		t.Fatalf("discarded %d", n)
+	}
+	if !h.L2.Contains(0x1000) {
+		t.Fatal("discarded spec line not re-registered in L2")
+	}
+}
+
+func TestPrefetcherCoversStream(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	cycle := uint64(1000)
+	base := uint64(0x8000_0000)
+	slow, total := 0, 0
+	for line := uint64(0); line < 200; line++ {
+		for a := uint64(0); a < 8; a++ {
+			res := h.Access(cycle, base+line*64+a*8, false)
+			if res.MSHRFull {
+				cycle += 5
+				continue
+			}
+			total++
+			if res.Done > cycle+50 && line > 10 {
+				slow++
+			}
+			cycle += 112
+		}
+	}
+	if slow > total/20 {
+		t.Fatalf("stream poorly covered: %d slow of %d", slow, total)
+	}
+	if h.PrefetchIssued() == 0 {
+		t.Fatal("no prefetches issued")
+	}
+}
+
+func TestPrefetcherDescendingStream(t *testing.T) {
+	p := NewStreamPrefetcher(4, 2)
+	base := uint64(0x9000_0000)
+	p.OnMiss(base, 1)
+	out := p.OnMiss(base-64, 2) // descending neighbour confirms
+	if len(out) != 2 || out[0] != base-128 {
+		t.Fatalf("descending prefetch %v", out)
+	}
+}
+
+func TestPrefetcherSlotReplacement(t *testing.T) {
+	p := NewStreamPrefetcher(2, 2)
+	p.OnMiss(0x1000, 1)
+	p.OnMiss(0x9000, 2)
+	p.OnMiss(0x20000, 3) // evicts the LRU unconfirmed slot
+	// The first stream's continuation now re-allocates rather than confirms.
+	if out := p.OnMiss(0x1040, 4); len(out) != 0 {
+		// Acceptable: 0x1040 may pair with a surviving neighbour slot; the
+		// contract is merely that nothing panics and slots recycle.
+		t.Logf("continuation produced %v", out)
+	}
+}

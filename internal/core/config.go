@@ -1,0 +1,228 @@
+// Package core implements the latency tolerant processor: a cycle-stepped
+// timing model of a Continual Flow Pipeline (CFP) on a Checkpoint Processing
+// and Recovery (CPR) microarchitecture, with pluggable secondary store
+// processing — the paper's baseline, the large single-level ("ideal") store
+// queue, the hierarchical two-level store queue, and the proposed Store Redo
+// Log organisation.
+package core
+
+import (
+	"fmt"
+
+	"srlproc/internal/cachesim"
+	"srlproc/internal/lsq"
+)
+
+// StoreDesign selects the store-processing organisation under evaluation.
+type StoreDesign int
+
+const (
+	// DesignBaseline is a single conventional store queue (48 entries by
+	// default) — the denominator of every speedup in the paper.
+	DesignBaseline StoreDesign = iota
+	// DesignLargeSTQ is a single-level store queue of configurable size at
+	// L1-STQ latency; at 1K entries it is Figure 6's "ideal" store queue,
+	// and the Figure 2 sweep uses sizes 128..1K.
+	DesignLargeSTQ
+	// DesignHierarchical is Akkary et al.'s two-level store queue: a small
+	// fast L1 STQ backed by a large, slow, CAM-searched L2 STQ with a
+	// Membership Test Buffer filtering lookups.
+	DesignHierarchical
+	// DesignSRL is the paper's proposal: L1 STQ + Store Redo Log + Loose
+	// Check Filter + Forwarding Cache + set-associative secondary load
+	// buffer.
+	DesignSRL
+	// DesignFilteredSTQ is the related-work comparator the paper discusses
+	// (Sethumadhavan et al., MICRO 2003): a single large store queue whose
+	// CAM searches are screened by a Bloom-style membership filter. It
+	// saves search (dynamic) power but — the paper's critique — keeps the
+	// full CAM's area and leakage.
+	DesignFilteredSTQ
+)
+
+// String names the design as in the paper's figures.
+func (d StoreDesign) String() string {
+	switch d {
+	case DesignBaseline:
+		return "baseline-48STQ"
+	case DesignLargeSTQ:
+		return "large-STQ"
+	case DesignHierarchical:
+		return "hierarchical-STQ"
+	case DesignSRL:
+		return "SRL"
+	case DesignFilteredSTQ:
+		return "filtered-STQ"
+	default:
+		return fmt.Sprintf("design(%d)", int(d))
+	}
+}
+
+// Config parameterises one simulation. DefaultConfig reproduces Table 1.
+type Config struct {
+	Design StoreDesign
+
+	// Pipeline widths (Table 1: rename/issue/retire = 4/6/4).
+	AllocWidth  int
+	IssueWidth  int
+	RetireWidth int
+	LoadPorts   int
+	StorePorts  int
+
+	// Scheduling windows (Table 1: 64 Int, 64 FP, 32 Mem).
+	SchedInt int
+	SchedFP  int
+	SchedMem int
+
+	// Physical registers (Table 1: 192 int, 192 fp).
+	IntRegs int
+	FPRegs  int
+
+	// Checkpoints (Table 1: 8 map table checkpoints).
+	Checkpoints  int
+	CkptInterval int // max micro-ops per checkpoint
+
+	// Branch handling.
+	MispredictPenalty uint64 // minimum redirect penalty (Table 1: 20)
+
+	// Primary load/store queues.
+	L1STQSize    int
+	L1STQLatency uint64
+	LQSize       int // load buffer capacity (Table 1: 1K)
+
+	// Single-level STQ size for DesignBaseline/DesignLargeSTQ.
+	STQSize int
+
+	// Hierarchical design.
+	L2STQSize    int
+	L2STQLatency uint64
+	MTBSize      int
+
+	// SRL design.
+	SRLSize        int
+	UseLCF         bool
+	LCFSize        int
+	LCFHash        lsq.HashKind
+	LCFCounterBits uint
+	UseIndexedFwd  bool
+	UseFC          bool // false = use the data cache for temporary updates (§6.5)
+	FCSize         int
+	FCAssoc        int
+	LoadBufAssoc   int // secondary load buffer associativity
+	LoadBufPolicy  lsq.OverflowPolicy
+	LoadBufVictim  int
+	UseWARTracker  bool // delay SRL head until prior loads execute (§4.3)
+
+	// Memory hierarchy.
+	Mem cachesim.Config
+
+	// Memory dependence predictor SSIT size.
+	StoreSetsSize int
+
+	// Slice data buffer capacity (CFP).
+	SDBSize int
+
+	// Total in-flight window bound (ring capacity).
+	WindowCap int
+
+	// Workload control.
+	Seed       uint64
+	WarmupUops uint64 // committed uops before stats reset
+	RunUops    uint64 // committed uops measured after warmup
+
+	// External snoop injection (multiprocessor ordering traffic);
+	// rate comes from the workload profile unless disabled here.
+	SnoopsEnabled bool
+}
+
+// DefaultConfig returns the Table 1 baseline machine with the given store
+// design selected and paper-default secondary structures (48-entry L1 STQ,
+// 1K SRL, 2K-entry 3-PAX LCF, 256-entry 4-way FC, 1K-entry 8-cycle L2 STQ,
+// 1K-entry load buffer).
+func DefaultConfig(d StoreDesign) Config {
+	return Config{
+		Design:      d,
+		AllocWidth:  4,
+		IssueWidth:  6,
+		RetireWidth: 4,
+		LoadPorts:   1,
+		StorePorts:  1,
+
+		SchedInt: 64,
+		SchedFP:  64,
+		SchedMem: 32,
+
+		IntRegs: 192,
+		FPRegs:  192,
+
+		Checkpoints:  8,
+		CkptInterval: 448,
+
+		MispredictPenalty: 20,
+
+		L1STQSize:    48,
+		L1STQLatency: 3,
+		LQSize:       1024,
+
+		STQSize: 48,
+
+		L2STQSize:    1024,
+		L2STQLatency: 8,
+		MTBSize:      1024,
+
+		SRLSize:        1024,
+		UseLCF:         true,
+		LCFSize:        2048,
+		LCFHash:        lsq.Hash3PAX,
+		LCFCounterBits: 6,
+		UseIndexedFwd:  true,
+		UseFC:          true,
+		FCSize:         256,
+		FCAssoc:        4,
+		LoadBufAssoc:   8,
+		LoadBufPolicy:  lsq.OverflowVictim,
+		LoadBufVictim:  16,
+		UseWARTracker:  true,
+
+		Mem: cachesim.DefaultConfig(),
+
+		StoreSetsSize: 4096,
+
+		SDBSize:   4096,
+		WindowCap: 8192,
+
+		Seed:       1,
+		WarmupUops: 50_000,
+		RunUops:    250_000,
+
+		SnoopsEnabled: true,
+	}
+}
+
+// Validate checks internal consistency and returns a descriptive error.
+func (c *Config) Validate() error {
+	switch {
+	case c.AllocWidth <= 0 || c.IssueWidth <= 0:
+		return fmt.Errorf("core: widths must be positive")
+	case c.Checkpoints < 2:
+		return fmt.Errorf("core: need at least 2 checkpoints")
+	case c.CkptInterval <= 0:
+		return fmt.Errorf("core: checkpoint interval must be positive")
+	case c.WindowCap < c.CkptInterval*2:
+		return fmt.Errorf("core: window cap %d too small for checkpoint interval %d", c.WindowCap, c.CkptInterval)
+	case c.RunUops == 0:
+		return fmt.Errorf("core: RunUops must be positive")
+	}
+	if c.Design == DesignSRL {
+		if c.SRLSize <= 0 {
+			return fmt.Errorf("core: SRL size must be positive")
+		}
+		if c.UseLCF && c.LCFSize&(c.LCFSize-1) != 0 {
+			return fmt.Errorf("core: LCF size must be a power of two")
+		}
+		if c.UseIndexedFwd && !c.UseLCF {
+			return fmt.Errorf("core: indexed forwarding requires the LCF")
+		}
+	}
+	return nil
+}

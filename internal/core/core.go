@@ -1,0 +1,505 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"srlproc/internal/bpred"
+	"srlproc/internal/cachesim"
+	"srlproc/internal/isa"
+	"srlproc/internal/lsq"
+	"srlproc/internal/memdep"
+	"srlproc/internal/stats"
+	"srlproc/internal/trace"
+	"srlproc/internal/xrand"
+)
+
+// Core is one simulated latency tolerant processor.
+type Core struct {
+	cfg  Config
+	gen  trace.Source
+	prof trace.Profile
+
+	cycle uint64
+
+	// In-flight window and replay position.
+	win       *window
+	replayPos int // index into win of the next uop to (re)allocate; == win.len() means fetch new
+
+	// Checkpoints, oldest first.
+	ckpts      []*ckptState
+	nextCkptID int
+
+	// Rename state: last writer of each architectural register.
+	lastWriter [isa.NumArchRegs]*dynUop
+
+	// Resource occupancy.
+	schedInt, schedFP, schedMem int
+	regsInt, regsFP             int
+	loadsInWindow               int
+	storesInWindow              int
+
+	// Scheduling.
+	ready readyHeap
+	cmpl  cmplHeap
+	// sdb is the slice data buffer. It is kept ordered by sequence number
+	// (oldest poisoned uop first): slices drain and re-insert in program
+	// order, and a consumer can never block the queue ahead of its
+	// producer, which a plain arrival-order FIFO would allow after
+	// re-slicing against a second miss.
+	sdb       readyHeap
+	sdbCount  int       // live entries (inSDB) in the sdb heap
+	pendDrain []*dynUop // poisoned uops waiting for SDB space
+
+	// SRL-stalled loads.
+	srlStalled []*dynUop
+
+	// In-flight stores with unknown (poisoned) addresses, for the memory
+	// dependence predictor to screen loads against.
+	unknownStores []*dynUop
+
+	// unknownAddrStores counts resident store-queue entries whose address
+	// has not been computed yet (gates the filtered design's search skip).
+	unknownAddrStores int
+
+	// Store identifier assignment (the paper's store IDs = SRL indices).
+	storeCounter uint64
+
+	// Front-end redirect: no allocation before this cycle.
+	fetchResume uint64
+
+	// Uops deferred to the next cycle (MSHR-full retries).
+	deferred []*dynUop
+
+	// pendingFetch holds a generated-but-not-yet-allocated uop so that a
+	// resource stall never drops an instruction from the stream.
+	pendingFetch *dynUop
+
+	// Youngest architecturally committed sequence number.
+	lastCommittedSeq uint64
+
+	// Structures.
+	l1stq *lsq.StoreQueue
+	l2stq *lsq.StoreQueue // hierarchical only
+	mtb   *lsq.MTB        // hierarchical only
+	srl   *lsq.SRL        // SRL design only
+	lcf   *lsq.LCF
+	fc    *lsq.FC
+	ldbuf *lsq.LoadBuffer
+	order *lsq.OrderTracker
+
+	mem *cachesim.Hierarchy
+	bp  bpred.Predictor
+	mdp *memdep.StoreSets
+
+	// Branch confidence estimator (for checkpoint placement).
+	conf []uint8
+
+	// Outstanding memory misses (poisoned loads awaiting data).
+	outstandingMisses int
+
+	// redoActive is true from a miss return until the SRL drains empty —
+	// the "store redo mode" of Section 4.3.
+	redoActive bool
+
+	// tempUpdateStall holds §6.5-variant store processing until this cycle
+	// (a temporary update's writeback or conflict).
+	tempUpdateStall uint64
+
+	// forceShortCkpt implements CPR's forward-progress rule: after a
+	// restart, a new checkpoint is created shortly after the restart point
+	// so at least part of the replay always commits.
+	forceShortCkpt bool
+
+	// Snoop injection.
+	snoopRNG    *xrand.RNG
+	recentLoads []uint64
+	rlPos       int
+
+	// snoopSink, when set, receives the line address of every globally
+	// visible store this core performs (a multicore system routes these to
+	// the other cores' coherence ports).
+	snoopSink func(addr uint64)
+	finalized bool
+
+	// Statistics.
+	res              Results
+	srlOcc           *stats.OccupancyTracker
+	counters         *stats.Counters
+	committed        uint64 // total committed uops
+	committedAtReset uint64
+	measuring        bool
+	statsResetAt     uint64
+	actBase          activity
+}
+
+// New builds a core for the given configuration and workload suite.
+func New(cfg Config, suite trace.Suite) (*Core, error) {
+	prof := trace.ProfileFor(suite)
+	return NewFromSource(cfg, trace.NewGenerator(prof, cfg.Seed), prof)
+}
+
+// NewFromSource builds a core over an arbitrary micro-op source — e.g. a
+// recorded trace file replayed with trace.NewReader — instead of the
+// built-in synthetic generators. The profile supplies only the ambient
+// workload metadata the core itself consumes (the external snoop rate and
+// the suite label on results); pass a zero Profile for none.
+func NewFromSource(cfg Config, src trace.Source, prof trace.Profile) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:      cfg,
+		gen:      src,
+		prof:     prof,
+		win:      newWindow(cfg.WindowCap),
+		order:    lsq.NewOrderTracker(),
+		mem:      cachesim.NewHierarchy(cfg.Mem),
+		bp:       bpred.NewHybrid(),
+		mdp:      memdep.New(cfg.StoreSetsSize),
+		conf:     make([]uint8, 4096),
+		snoopRNG: xrand.New(cfg.Seed*7919 + uint64(prof.Suite)),
+		srlOcc:   stats.NewOccupancyTracker(),
+		counters: stats.NewCounters(),
+	}
+	c.res.Suite = prof.Suite
+	c.res.Design = cfg.Design
+	c.recentLoads = make([]uint64, 64)
+
+	switch cfg.Design {
+	case DesignBaseline, DesignLargeSTQ:
+		c.l1stq = lsq.NewStoreQueue("STQ", cfg.STQSize, cfg.L1STQLatency)
+		c.ldbuf = lsq.NewLoadBuffer(cfg.LQSize, cfg.LQSize, lsq.OverflowViolate, 0)
+	case DesignFilteredSTQ:
+		c.l1stq = lsq.NewStoreQueue("STQ", cfg.STQSize, cfg.L1STQLatency)
+		c.mtb = lsq.NewMTB(cfg.MTBSize)
+		c.ldbuf = lsq.NewLoadBuffer(cfg.LQSize, cfg.LQSize, lsq.OverflowViolate, 0)
+	case DesignHierarchical:
+		c.l1stq = lsq.NewStoreQueue("L1STQ", cfg.L1STQSize, cfg.L1STQLatency)
+		c.l2stq = lsq.NewStoreQueue("L2STQ", cfg.L2STQSize, cfg.L2STQLatency)
+		c.mtb = lsq.NewMTB(cfg.MTBSize)
+		c.ldbuf = lsq.NewLoadBuffer(cfg.LQSize, cfg.LQSize, lsq.OverflowViolate, 0)
+	case DesignSRL:
+		c.l1stq = lsq.NewStoreQueue("L1STQ", cfg.L1STQSize, cfg.L1STQLatency)
+		c.srl = lsq.NewSRL(cfg.SRLSize)
+		if cfg.UseLCF {
+			c.lcf = lsq.NewLCF(cfg.LCFSize, cfg.LCFHash, cfg.LCFCounterBits)
+		}
+		if cfg.UseFC {
+			c.fc = lsq.NewFC(cfg.FCSize, cfg.FCAssoc)
+		}
+		c.ldbuf = lsq.NewLoadBuffer(cfg.LQSize, cfg.LoadBufAssoc, cfg.LoadBufPolicy, cfg.LoadBufVictim)
+	default:
+		return nil, fmt.Errorf("core: unknown design %v", cfg.Design)
+	}
+
+	// The first checkpoint.
+	c.newCheckpoint(1)
+	return c, nil
+}
+
+// srlMode reports whether secondary (shadow-of-miss) store processing is
+// active: a long-latency miss is outstanding or the SRL still holds stores.
+func (c *Core) srlMode() bool {
+	if c.cfg.Design != DesignSRL {
+		return false
+	}
+	return c.outstandingMisses > 0 || !c.srl.Empty()
+}
+
+func (c *Core) newCheckpoint(startSeq uint64) *ckptState {
+	ck := &ckptState{
+		id:           c.nextCkptID,
+		startSeq:     startSeq,
+		startStoreID: c.storeCounter,
+		renameSnap:   c.lastWriter,
+	}
+	c.nextCkptID++
+	c.ckpts = append(c.ckpts, ck)
+	return ck
+}
+
+func (c *Core) curCkpt() *ckptState { return c.ckpts[len(c.ckpts)-1] }
+
+// oldestCkptID returns the id of the oldest live checkpoint.
+func (c *Core) oldestCkptID() int { return c.ckpts[0].id }
+
+// findCkpt returns the live checkpoint with the given id, or nil.
+func (c *Core) findCkpt(id int) *ckptState {
+	for _, ck := range c.ckpts {
+		if ck.id == id {
+			return ck
+		}
+	}
+	return nil
+}
+
+// Run simulates until cfg.WarmupUops+cfg.RunUops micro-ops have committed
+// and returns the measured-region results.
+func (c *Core) Run() *Results {
+	guard := uint64(0)
+	for !c.Done() {
+		c.StepCycle()
+		guard++
+		if guard > 400*(c.cfg.WarmupUops+c.cfg.RunUops)+10_000_000 {
+			panic("core: no forward progress: " + c.debugState())
+		}
+	}
+	return c.Finalize()
+}
+
+// StepCycle advances the machine by exactly one cycle, handling the
+// warmup-to-measurement transition. It lets an external driver (a multicore
+// system) run several cores in lockstep.
+func (c *Core) StepCycle() {
+	if !c.measuring && c.committed >= c.cfg.WarmupUops {
+		c.resetStats()
+		c.measuring = true
+	}
+	c.step()
+}
+
+// Done reports whether the measured region is complete.
+func (c *Core) Done() bool {
+	return c.measuring && c.committed-c.committedAtReset >= c.cfg.RunUops
+}
+
+// MeasuredUops returns micro-ops committed inside the measured region so far.
+func (c *Core) MeasuredUops() uint64 {
+	if !c.measuring {
+		return 0
+	}
+	return c.committed - c.committedAtReset
+}
+
+// Finalize closes the measured region and returns the results (idempotent).
+func (c *Core) Finalize() *Results {
+	if !c.finalized {
+		c.finalize()
+		c.finalized = true
+	}
+	return &c.res
+}
+
+// SetSnoopSink registers a callback receiving the line address of every
+// globally visible store this core performs. Used by package multicore to
+// route real coherence traffic between cores.
+func (c *Core) SetSnoopSink(sink func(addr uint64)) { c.snoopSink = sink }
+
+// ExternalSnoop delivers another processor's store to this core's coherence
+// port: the line is invalidated and the (secondary) load buffer is searched;
+// a hit is a multiprocessor ordering violation and execution restarts from
+// the hit load's checkpoint (Section 3).
+func (c *Core) ExternalSnoop(addr uint64) {
+	c.counters.Inc("snoops_external")
+	c.mem.Snoop(addr)
+	if v, found := c.ldbuf.SnoopCheck(addr); found {
+		c.res.SnoopViolations++
+		c.restart(v.Ckpt, c.cfg.MispredictPenalty)
+	}
+}
+
+func (c *Core) resetStats() {
+	saved := c.res
+	c.res = Results{Suite: saved.Suite, Design: saved.Design}
+	c.srlOcc = stats.NewOccupancyTracker()
+	c.srlOcc.Set(c.cycle, uint64(c.srlLen()))
+	c.counters = stats.NewCounters()
+	c.statsResetAt = c.cycle
+	c.committedAtReset = c.committed
+	// Structure activity counters are cumulative; snapshot baselines.
+	c.actBase = c.snapshotActivity()
+}
+
+func (c *Core) srlLen() int {
+	if c.srl == nil {
+		return 0
+	}
+	return c.srl.Len()
+}
+
+// step advances the machine by one cycle.
+func (c *Core) step() {
+	c.cycle++
+	if c.outstandingMisses > 0 {
+		c.counters.Inc("cycles_miss_outstanding")
+	}
+	if debugInvariants && c.cycle%5000 == 0 {
+		actual := 0
+		for i := 0; i < c.win.len(); i++ {
+			d := c.win.at(i)
+			if d.allocated && d.missReturn > 0 && !d.done {
+				actual++
+			}
+		}
+		if actual != c.outstandingMisses {
+			panic(fmt.Sprintf("outstandingMisses leak: counter=%d actual=%d cycle=%d", c.outstandingMisses, actual, c.cycle))
+		}
+	}
+	if c.srl != nil && !c.srl.Empty() {
+		c.counters.Inc("cycles_srl_nonempty")
+		if c.srl.Head().DataReady {
+			c.counters.Inc("cycles_srl_head_ready")
+		}
+	}
+	if debugInvariants && c.win.len() > 0 && c.win.at(0).u.Seq < c.ckpts[0].startSeq {
+		panic("core: window head older than oldest checkpoint: " + c.debugState())
+	}
+	c.processCompletions()
+	c.commitCheckpoints()
+	c.injectSnoops()
+	c.drainStores()
+	c.movePendingDrains()
+	c.reinsertSlice()
+	c.retrySRLStalled()
+	c.issue()
+	c.allocate()
+}
+
+func (c *Core) processCompletions() {
+	for c.cmpl.Len() > 0 && c.cmpl[0].cycle <= c.cycle {
+		ev := heap.Pop(&c.cmpl).(cmplEvent)
+		if ev.d.epoch != ev.epoch {
+			continue // squashed
+		}
+		c.complete(ev.d)
+	}
+}
+
+func (c *Core) finalize() {
+	c.res.Cycles = c.cycle - c.statsResetAt
+	c.res.Uops = c.committed - c.committedAtReset
+	c.srlOcc.Finish(c.cycle)
+	c.res.SRLOccupancy = c.srlOcc
+	c.res.Counters = c.counters
+	act := c.snapshotActivity()
+	c.res.CamSearches = act.camSearches - c.actBase.camSearches
+	c.res.CamEntryOps = act.camEntryOps - c.actBase.camEntryOps
+	c.res.LCFProbes = act.lcfProbes - c.actBase.lcfProbes
+	c.res.LCFNonZero = act.lcfNonZero - c.actBase.lcfNonZero
+	c.res.LCFOverflows = act.lcfOverflows - c.actBase.lcfOverflows
+	c.res.FCLookups = act.fcLookups - c.actBase.fcLookups
+	c.res.FCHits = act.fcHits - c.actBase.fcHits
+	c.res.LBLookups = act.lbLookups - c.actBase.lbLookups
+	c.res.LBEntryCmps = act.lbEntryCmps - c.actBase.lbEntryCmps
+	c.res.LBOverflows = act.lbOverflows - c.actBase.lbOverflows
+	c.res.MTBProbes = act.mtbProbes - c.actBase.mtbProbes
+	c.res.MTBMaybes = act.mtbMaybes - c.actBase.mtbMaybes
+	c.res.SRLReads = act.srlReads - c.actBase.srlReads
+	c.res.SRLWrites = act.srlWrites - c.actBase.srlWrites
+	c.res.L1Misses = act.l1Misses - c.actBase.l1Misses
+	c.res.L2Misses = act.l2Misses - c.actBase.l2Misses
+	c.res.MemAccesses = act.memAccesses - c.actBase.memAccesses
+	c.res.Writebacks = act.writebacks - c.actBase.writebacks
+}
+
+// activity is a snapshot of cumulative structure counters.
+type activity struct {
+	camSearches, camEntryOps            uint64
+	lcfProbes, lcfNonZero, lcfOverflows uint64
+	fcLookups, fcHits                   uint64
+	lbLookups, lbEntryCmps, lbOverflows uint64
+	mtbProbes, mtbMaybes                uint64
+	srlReads, srlWrites                 uint64
+	l1Misses, l2Misses, memAccesses     uint64
+	writebacks                          uint64
+}
+
+func (c *Core) snapshotActivity() activity {
+	var a activity
+	a.camSearches = c.l1stq.Searches()
+	a.camEntryOps = c.l1stq.CamEntryOps()
+	if c.l2stq != nil {
+		a.camSearches += c.l2stq.Searches()
+		a.camEntryOps += c.l2stq.CamEntryOps()
+	}
+	if c.lcf != nil {
+		a.lcfProbes = c.lcf.Probes()
+		a.lcfNonZero = c.lcf.NonZeroHits()
+		a.lcfOverflows = c.lcf.Overflows()
+	}
+	if c.fc != nil {
+		a.fcLookups = c.fc.Lookups()
+		a.fcHits = c.fc.Hits()
+	}
+	a.lbLookups = c.ldbuf.Lookups()
+	a.lbEntryCmps = c.ldbuf.EntryCompares()
+	a.lbOverflows = c.ldbuf.Overflows()
+	if c.mtb != nil {
+		a.mtbProbes = c.mtb.Probes()
+		a.mtbMaybes = c.mtb.Maybes()
+	}
+	if c.srl != nil {
+		a.srlReads = c.srl.Reads()
+		a.srlWrites = c.srl.Writes()
+	}
+	a.l1Misses = c.mem.L1.Misses()
+	a.l2Misses = c.mem.L2.Misses()
+	a.memAccesses = c.mem.MemAccesses()
+	a.writebacks = c.mem.L1.Writebacks() + c.mem.L2.Writebacks()
+	return a
+}
+
+// debugState renders a diagnostic snapshot for forward-progress failures.
+func (c *Core) debugState() string {
+	s := fmt.Sprintf("%s/%s cycle=%d committed=%d win=%d replayPos=%d sdb=%d pend=%d srlStalled=%d ready=%d cmpl=%d ckpts=%d fetchResume=%d\n",
+		c.res.Suite, c.res.Design, c.cycle, c.committed, c.win.len(), c.replayPos,
+		c.sdbCount, len(c.pendDrain), len(c.srlStalled), c.ready.Len(), c.cmpl.Len(), len(c.ckpts), c.fetchResume)
+	s += fmt.Sprintf("sched(i/f/m)=%d/%d/%d regs(i/f)=%d/%d loadsInWin=%d l1stq=%d srlLen=%d outMiss=%d\n",
+		c.schedInt, c.schedFP, c.schedMem, c.regsInt, c.regsFP, c.loadsInWindow, c.l1stq.Len(), c.srlLen(), c.outstandingMisses)
+	if len(c.ckpts) > 0 {
+		ck := c.ckpts[0]
+		s += fmt.Sprintf("ckpt0: id=%d start=%d pending=%d uops=%d closed=%v\n", ck.id, ck.startSeq, ck.pending, ck.uops, ck.closed)
+	}
+	if c.srl != nil && !c.srl.Empty() {
+		h := c.srl.Head()
+		hu := c.uopBySeq(h.Seq)
+		s += fmt.Sprintf("srl head: seq=%d idx=%d addrKnown=%v dataReady=%v lcfCnt=%v uop=%v\n",
+			h.Seq, h.SRLIndex, h.AddrKnown, h.DataReady, h.LCFCounted, hu != nil)
+		if hu != nil {
+			s += fmt.Sprintf("  head uop: alloc=%v done=%v pois=%v inSDB=%v inSched=%v srlRes=%v srlIdx=%d pendSrc=%d\n",
+				hu.allocated, hu.done, hu.poisoned, hu.inSDB, hu.inSched, hu.srlReserved, hu.srlIdx, hu.pendingSrc)
+		}
+		s += fmt.Sprintf("order: allLoadsOlderDone(head)=%v outstanding=%d\n",
+			c.order.AllLoadsOlderThanDone(h.Seq), c.order.Outstanding())
+	}
+	for _, ld := range c.srlStalled {
+		s += fmt.Sprintf("  stalled load seq=%d nearest=%d srlHeadIdx=%d\n", ld.u.Seq, ld.nearestStoreID, c.srl.HeadIndex())
+		break
+	}
+	if c.sdb.Len() > 0 {
+		d := c.sdb[0].d
+		s += fmt.Sprintf("  sdb[0]: %s\n", d.u.String())
+		// Walk the producer chain of the SDB head.
+		cur := d
+		for hop := 0; hop < 12 && cur != nil; hop++ {
+			var next *dynUop
+			for j, p := range cur.prod {
+				if p != nil && !p.done && p.allocated {
+					s += fmt.Sprintf("   hop%d prod%d: %s done=%v pois=%v inSDB=%v inSched=%v issued=%v stall=%v pendSrc=%d missRet=%d\n",
+						hop, j, p.u.String(), p.done, p.poisoned, p.inSDB, p.inSched, p.issued, p.srlStalled, p.pendingSrc, p.missReturn)
+					next = p
+				}
+			}
+			if next == nil && cur.memDep != nil && !cur.memDep.done {
+				p := cur.memDep
+				s += fmt.Sprintf("   hop%d memDep: %s done=%v pois=%v inSDB=%v inSched=%v issued=%v stall=%v pendSrc=%d missRet=%d\n",
+					hop, p.u.String(), p.done, p.poisoned, p.inSDB, p.inSched, p.issued, p.srlStalled, p.pendingSrc, p.missReturn)
+				next = p
+			}
+			cur = next
+		}
+	}
+	// First few incomplete uops in the window.
+	n := 0
+	for i := 0; i < c.win.len() && n < 6; i++ {
+		d := c.win.at(i)
+		if d.done || !d.allocated {
+			continue
+		}
+		s += fmt.Sprintf("  stuck uop %s alloc=%v inSched=%v issued=%v pois=%v inSDB=%v pendSrc=%d stall=%v missRet=%d\n",
+			d.u.String(), d.allocated, d.inSched, d.issued, d.poisoned, d.inSDB, d.pendingSrc, d.srlStalled, d.missReturn)
+		n++
+	}
+	return s
+}

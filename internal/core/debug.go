@@ -1,0 +1,12 @@
+package core
+
+import "fmt"
+
+// debugInvariants enables expensive internal consistency checks and
+// tracing; tests turn it on.
+var debugInvariants = false
+
+// debugTrace prints internal tracing when invariants are enabled.
+func debugTrace(format string, args ...interface{}) {
+	fmt.Printf(format+"\n", args...)
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"container/heap"
+
+	"srlproc/internal/isa"
+)
+
+// dynUop is the dynamic (per-instance) state of a micro-op in flight. The
+// same object survives checkpoint-restart replays; epoch invalidates stale
+// queue/heap references after a squash.
+type dynUop struct {
+	u isa.Uop
+
+	// Dependences: producers of src1/src2 (nil when the value was already
+	// architectural at allocation) and the consumers to wake on
+	// availability.
+	prod    [2]*dynUop
+	waiters []*dynUop
+
+	pendingSrc int8
+	epoch      uint32
+
+	// Lifecycle flags.
+	allocated bool
+	inSched   bool
+	issued    bool
+	done      bool // executed with real data
+	poisoned  bool // currently carrying poison (in or destined for the SDB)
+	inSDB     bool
+	committed bool
+
+	holdsReg  bool
+	doneCycle uint64
+
+	ckptID int // owning checkpoint (monotonic id)
+
+	// Memory state.
+	storeID        uint64 // stores: global allocation order (the paper's store identifier)
+	nearestStoreID uint64 // loads: identifier of the last prior store
+	fwdStoreID     uint64 // loads: identifier of the forwarding store (lsq.NoFwd if memory)
+	stqSlot        int    // stores: slot hint in the owning store queue
+	inL2STQ        bool   // hierarchical design: entry displaced to L2 STQ
+	srlIdx         uint64 // stores: reserved/filled SRL index
+	srlReserved    bool
+	addrKnown      bool
+	missReturn     uint64 // loads: DRAM fill cycle when the load missed to memory
+	everInSDB      bool   // for miss-dependent accounting (counted once)
+	everRedone     bool   // stores: drained through the SRL at least once
+	inUnknownList  bool   // stores: currently in the unknown-address screen list
+
+	// Branch state.
+	predTaken  bool
+	brResolved bool // outcome known to the front end (post-restart replay)
+	bpTrained  bool // predictor updated (once, in program order at allocate)
+
+	// SRL stall state.
+	srlStalled bool
+
+	// memDep is a store this load must wait for (predicted or detected
+	// memory dependence); the load re-executes once the store completes.
+	memDep *dynUop
+}
+
+func (d *dynUop) isLoad() bool  { return d.u.Class == isa.Load }
+func (d *dynUop) isStore() bool { return d.u.Class == isa.Store }
+
+// srcAvailable reports whether producer i is available (done, or poisoned —
+// poison is itself a value that propagates).
+func (d *dynUop) srcAvailable(i int) bool {
+	p := d.prod[i]
+	return p == nil || p.done || p.poisoned
+}
+
+// anyPoisonedSrc reports whether any producer currently carries poison.
+func (d *dynUop) anyPoisonedSrc() bool {
+	for _, p := range d.prod {
+		if p != nil && p.poisoned && !p.done {
+			return true
+		}
+	}
+	return d.memDep != nil && d.memDep.poisoned && !d.memDep.done
+}
+
+// --- window ring ---
+
+// window is a FIFO ring of in-flight micro-ops from oldest uncommitted to
+// youngest fetched, supporting replay from an arbitrary position after a
+// checkpoint restart.
+type window struct {
+	buf   []*dynUop
+	head  int
+	count int
+}
+
+func newWindow(capacity int) *window {
+	return &window{buf: make([]*dynUop, capacity)}
+}
+
+func (w *window) len() int   { return w.count }
+func (w *window) full() bool { return w.count == len(w.buf) }
+
+func (w *window) push(d *dynUop) {
+	if w.full() {
+		panic("core: window overflow")
+	}
+	w.buf[(w.head+w.count)%len(w.buf)] = d
+	w.count++
+}
+
+func (w *window) at(i int) *dynUop {
+	return w.buf[(w.head+i)%len(w.buf)]
+}
+
+func (w *window) popFront() *dynUop {
+	if w.count == 0 {
+		return nil
+	}
+	d := w.buf[w.head]
+	w.buf[w.head] = nil
+	w.head = (w.head + 1) % len(w.buf)
+	w.count--
+	return d
+}
+
+// indexOfSeq returns the ring position of the uop with sequence seq, or -1.
+// Sequence numbers are dense within the window, so this is O(1).
+func (w *window) indexOfSeq(seq uint64) int {
+	if w.count == 0 {
+		return -1
+	}
+	first := w.at(0).u.Seq
+	if seq < first || seq >= first+uint64(w.count) {
+		return -1
+	}
+	return int(seq - first)
+}
+
+// --- event heaps ---
+
+type cmplEvent struct {
+	cycle uint64
+	d     *dynUop
+	epoch uint32
+}
+
+type cmplHeap []cmplEvent
+
+func (h cmplHeap) Len() int           { return len(h) }
+func (h cmplHeap) Less(i, j int) bool { return h[i].cycle < h[j].cycle }
+func (h cmplHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *cmplHeap) Push(x interface{}) {
+	*h = append(*h, x.(cmplEvent))
+}
+func (h *cmplHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type readyEntry struct {
+	d     *dynUop
+	epoch uint32
+}
+
+// readyHeap orders schedulable uops oldest-first (sequence number).
+type readyHeap []readyEntry
+
+func (h readyHeap) Len() int           { return len(h) }
+func (h readyHeap) Less(i, j int) bool { return h[i].d.u.Seq < h[j].d.u.Seq }
+func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) {
+	*h = append(*h, x.(readyEntry))
+}
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func pushCmpl(h *cmplHeap, cycle uint64, d *dynUop) {
+	heap.Push(h, cmplEvent{cycle: cycle, d: d, epoch: d.epoch})
+}
+
+func pushReady(h *readyHeap, d *dynUop) {
+	heap.Push(h, readyEntry{d: d, epoch: d.epoch})
+}
+
+func heapPopSDB(h *readyHeap) {
+	heap.Pop(h)
+}
+
+// --- checkpoints ---
+
+// ckptState is one CPR map-table checkpoint.
+type ckptState struct {
+	id           int
+	startSeq     uint64
+	startStoreID uint64
+	renameSnap   [isa.NumArchRegs]*dynUop
+	pending      int // allocated-but-not-completed uops
+	uops         int // uops allocated into this checkpoint
+	closed       bool
+}

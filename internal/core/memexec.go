@@ -1,0 +1,656 @@
+package core
+
+import (
+	"srlproc/internal/cachesim"
+	"srlproc/internal/isa"
+	"srlproc/internal/lsq"
+)
+
+// cachesimSpecResult aliases the cache's speculative-write result.
+type cachesimSpecResult = cachesim.SpecWriteResult
+
+// poisonThreshold: a load whose data will take longer than this many cycles
+// is treated as a long-latency miss — its destination is poisoned and its
+// forward slice drains out of the pipeline (CFP).
+const poisonThreshold = 50
+
+// execute dispatches an issued uop (all sources available and clean).
+func (c *Core) execute(d *dynUop) {
+	switch d.u.Class {
+	case isa.Load:
+		c.executeLoad(d)
+	case isa.Store:
+		// Address generation and data capture; the store's architectural
+		// memory update happens later, in order, from the store queues.
+		c.leaveSched(d)
+		d.issued = true
+		pushCmpl(&c.cmpl, c.cycle+d.u.Class.Latency(), d)
+	default:
+		c.leaveSched(d)
+		d.issued = true
+		pushCmpl(&c.cmpl, c.cycle+d.u.Class.Latency(), d)
+	}
+}
+
+func (c *Core) leaveSched(d *dynUop) {
+	if d.inSched {
+		d.inSched = false
+		c.schedFree(d.u.Class)
+	}
+}
+
+// waitOn parks d in the scheduler until producer s is available. If s is
+// already available the uop simply retries next cycle.
+func (c *Core) waitOn(d, s *dynUop) {
+	if !d.inSched {
+		d.inSched = true
+		c.schedTake(d.u.Class)
+	}
+	if s.done || s.poisoned || !s.allocated {
+		c.deferOneCycle(d)
+		return
+	}
+	c.addWaiter(s, d)
+}
+
+// deferOneCycle retries d next cycle (structural hazard such as a full
+// MSHR file).
+func (c *Core) deferOneCycle(d *dynUop) {
+	c.deferred = append(c.deferred, d)
+}
+
+// blockOnStore makes load d wait for store s: if the store is part of the
+// miss slice the load joins the slice (poison bits via the dependence
+// predictor, Section 2.1); otherwise it waits in the scheduler.
+func (c *Core) blockOnStore(d, s *dynUop) {
+	d.memDep = s
+	if s.poisoned && !s.done {
+		c.leaveSched(d)
+		c.drainToSDB(d)
+		return
+	}
+	c.waitOn(d, s)
+}
+
+// predictedDependentStore returns the youngest older unknown-address store
+// the store-sets predictor believes the load depends on, or nil.
+func (c *Core) predictedDependentStore(d *dynUop, seqs []uint64) *dynUop {
+	if !c.mdp.DependentOnAny(d.u.PC) {
+		return nil
+	}
+	for _, sq := range seqs { // youngest first
+		su := c.uopBySeq(sq)
+		if su == nil || !su.allocated || su.done {
+			continue
+		}
+		if c.mdp.Dependent(d.u.PC, su.u.PC) {
+			return su
+		}
+	}
+	return nil
+}
+
+// uopBySeq finds the in-window dynamic uop with the given sequence number.
+func (c *Core) uopBySeq(seq uint64) *dynUop {
+	if pos := c.win.indexOfSeq(seq); pos >= 0 {
+		return c.win.at(pos)
+	}
+	return nil
+}
+
+// executeLoad runs the full load pipeline: dependence screening, L1 STQ
+// search, design-specific secondary forwarding (L2 STQ / FC / LCF+SRL), and
+// finally the cache hierarchy.
+func (c *Core) executeLoad(d *dynUop) {
+	// 1. Screen against in-flight stores with unknown (poisoned) addresses
+	// using the store-sets memory dependence predictor. A predicted
+	// dependence on a slice store makes the load part of the slice
+	// (Section 2.1).
+	for _, s := range c.unknownStores {
+		if s.u.Seq >= d.u.Seq || !s.allocated || s.done {
+			continue
+		}
+		if c.mdp.Dependent(d.u.PC, s.u.PC) {
+			c.blockOnStore(d, s)
+			return
+		}
+	}
+
+	// 2. Primary (L1) store queue CAM search. The filtered design screens
+	// the search with its membership filter: a filter miss proves no
+	// resolved store matches, and a load the dependence predictor considers
+	// independent then skips the CAM entirely (the related-work power
+	// optimisation) — accepting that a mispredicted dependence on a
+	// still-unresolved store is caught later by the load buffer.
+	var sr lsq.SearchResult
+	if c.cfg.Design == DesignFilteredSTQ && !c.mtb.MightContain(d.u.Addr) &&
+		(c.unknownAddrStores == 0 || !c.mdp.DependentOnAny(d.u.PC)) {
+		c.counters.Inc("filtered_searches_saved")
+	} else {
+		sr = c.l1stq.Search(d.u.Addr, d.u.Size, d.u.Seq)
+	}
+	// Unexecuted older stores have unknown addresses: the dependence
+	// predictor decides whether the load proceeds past them.
+	if sr.UnknownOlder {
+		if s := c.predictedDependentStore(d, sr.UnknownSeqs); s != nil {
+			c.blockOnStore(d, s)
+			return
+		}
+	}
+	if sr.Hit {
+		if sr.PoisonedMatch {
+			// Forwarding store's data is poisoned (or not yet captured):
+			// the load blocks behind the store (a detected, not merely
+			// predicted, memory dependence).
+			if su := c.uopBySeq(sr.Entry.Seq); su != nil && !su.done {
+				c.blockOnStore(d, su)
+				return
+			}
+		}
+		if sr.Entry.DataReady {
+			c.finishLoadForward(d, sr.Entry.SRLIndex, c.cfg.L1STQLatency)
+			c.res.L1STQForwards++
+			return
+		}
+	}
+
+	// 3. Design-specific secondary forwarding.
+	switch c.cfg.Design {
+	case DesignHierarchical:
+		if c.mtb.MightContain(d.u.Addr) {
+			sr2 := c.l2stq.Search(d.u.Addr, d.u.Size, d.u.Seq)
+			if sr2.UnknownOlder {
+				if s := c.predictedDependentStore(d, sr2.UnknownSeqs); s != nil {
+					c.blockOnStore(d, s)
+					return
+				}
+			}
+			if sr2.Hit {
+				if sr2.PoisonedMatch {
+					if su := c.uopBySeq(sr2.Entry.Seq); su != nil && !su.done {
+						c.blockOnStore(d, su)
+						return
+					}
+				}
+				if sr2.Entry.DataReady {
+					// Forwarding from the L2 STQ costs the L2 STQ's access
+					// latency (8 cycles) — the disadvantage SRL forwarding
+					// at L1-hit latency avoids (Section 6.1).
+					c.finishLoadForward(d, sr2.Entry.SRLIndex, c.cfg.L2STQLatency)
+					c.res.L2STQForwards++
+					return
+				}
+			}
+		}
+	case DesignSRL:
+		if c.srlMode() {
+			if c.fc != nil {
+				if hit, ok := c.fc.Lookup(d.u.Addr, d.u.Seq); ok {
+					c.finishLoadForward(d, hit.SRLIndex, c.cfg.L1STQLatency)
+					c.res.FCForwards++
+					return
+				}
+			} else if c.mem.L1.HasTempSpec(d.u.Addr) {
+				// §6.5 variant: the data cache itself holds the youngest
+				// independent store's temporary value for this line; the
+				// load reads it at L1-hit latency. Relative age is not
+				// recorded per line, so the load is treated as forwarded
+				// from its youngest older store; an intervening dependent
+				// store's later fill is caught by the load buffer.
+				c.finishLoadForward(d, d.nearestStoreID, c.cfg.L1STQLatency)
+				c.res.FCForwards++
+				return
+			}
+			if !c.srl.Empty() {
+				if c.lcf != nil {
+					mayMatch, lastIdx := c.lcf.Probe(d.u.Addr)
+					if mayMatch {
+						if c.tryIndexedForward(d, lastIdx) {
+							return
+						}
+						c.stallOnSRL(d)
+						return
+					}
+					// Zero counter: provably no matching store in the SRL.
+				} else {
+					// No LCF (Figure 8's worst bar): during the redo phase
+					// a load cannot prove the SRL holds no matching store,
+					// so it stalls until its older stores have drained.
+					if c.redoActive {
+						c.stallOnSRL(d)
+						return
+					}
+				}
+			}
+		}
+	}
+
+	// 4. Data cache hierarchy.
+	c.accessCacheForLoad(d)
+}
+
+// tryIndexedForward implements indexed forwarding (Section 4.3): read the
+// SRL entry whose index the LCF recorded and do one full address+age check
+// with a single comparator — no CAM, no search.
+func (c *Core) tryIndexedForward(d *dynUop, lastIdx uint64) bool {
+	if !c.cfg.UseIndexedFwd {
+		return false
+	}
+	e := c.srl.IndexedRead(lastIdx)
+	if e == nil {
+		return false
+	}
+	if e.SRLIndex > d.nearestStoreID {
+		return false // store is younger than the load
+	}
+	if !e.DataReady || !e.AddrKnown {
+		// A reserved, not-yet-filled slot: the address cannot be compared,
+		// so indexed forwarding fails and the load stalls; the retry loop
+		// re-attempts every cycle and succeeds as soon as the slot fills
+		// (Section 4.2 case iv) or the SRL drains past the load's stores.
+		return false
+	}
+	if e.Addr>>3 != d.u.Addr>>3 {
+		return false
+	}
+	c.res.IndexedForwards++
+	c.finishLoadForward(d, e.SRLIndex, c.cfg.L1STQLatency+1)
+	return true
+}
+
+// stallOnSRL parks a load that may depend on an SRL store it cannot forward
+// from; it proceeds once every older store has drained from the SRL (head
+// pointer passes the load's nearest-store identifier) or the filter clears.
+func (c *Core) stallOnSRL(d *dynUop) {
+	c.res.SRLLoadStalls++
+	c.leaveSched(d)
+	d.srlStalled = true
+	c.srlStalled = append(c.srlStalled, d)
+}
+
+// retrySRLStalled re-examines stalled loads each cycle.
+func (c *Core) retrySRLStalled() {
+	if len(c.srlStalled) == 0 {
+		return
+	}
+	c.counters.Add("srl_stall_load_cycles", uint64(len(c.srlStalled)))
+	// Stalled loads wake as drains release them; the wait buffer can wake
+	// several per cycle (they re-enter through the cache port pipeline).
+	budget := 4 * c.cfg.LoadPorts
+	out := c.srlStalled[:0]
+	for i, d := range c.srlStalled {
+		if !d.allocated || !d.srlStalled {
+			continue
+		}
+		if budget == 0 {
+			out = append(out, c.srlStalled[i:]...)
+			break
+		}
+		proceed := c.srl.Empty() || c.srl.HeadIndex() > d.nearestStoreID
+		if !proceed && c.lcf != nil {
+			if may, _ := c.lcf.Peek(d.u.Addr); !may {
+				proceed = true
+			}
+		}
+		if !proceed && c.cfg.UseIndexedFwd && c.lcf != nil {
+			if _, lastIdx := c.lcf.Peek(d.u.Addr); c.tryIndexedForward(d, lastIdx) {
+				d.srlStalled = false
+				budget--
+				continue
+			}
+		}
+		if proceed {
+			d.srlStalled = false
+			budget--
+			c.accessCacheForLoad(d)
+			continue
+		}
+		out = append(out, d)
+	}
+	c.srlStalled = out
+}
+
+// finishLoadForward completes a load via store forwarding at the given
+// latency.
+func (c *Core) finishLoadForward(d *dynUop, storeID uint64, latency uint64) {
+	c.leaveSched(d)
+	d.issued = true
+	d.fwdStoreID = storeID
+	pushCmpl(&c.cmpl, c.cycle+latency, d)
+}
+
+// accessCacheForLoad sends the load to the memory hierarchy; a long-latency
+// miss poisons the destination and drains the load into the SDB.
+func (c *Core) accessCacheForLoad(d *dynUop) {
+	var preState string
+	if debugInvariants {
+		preState = c.mem.ProbeState(d.u.Addr)
+	}
+	res := c.mem.Access(c.cycle, d.u.Addr, false)
+	if res.MSHRFull {
+		if !d.inSched {
+			d.inSched = true
+			c.schedTake(d.u.Class)
+		}
+		c.deferOneCycle(d)
+		return
+	}
+	c.leaveSched(d)
+	d.issued = true
+	d.fwdStoreID = lsq.NoFwd
+	if res.Done > c.cycle+poisonThreshold {
+		// Long-latency miss: CFP. The load drains to the SDB and its data
+		// return re-enters through slice reinsertion.
+		switch {
+		case d.u.Addr >= 0x8000_0000:
+			c.counters.Inc("miss_region_stream")
+		case d.u.Addr >= 0x4000_0000:
+			c.counters.Inc("miss_region_heap")
+		default:
+			c.counters.Inc("miss_region_hot")
+			if debugInvariants {
+				c.counters.Inc("hotmiss_pre_" + preState)
+			}
+		}
+		if res.Done-c.cycle > 700 {
+			c.counters.Inc("poison_new_miss")
+		} else {
+			c.counters.Inc("poison_merged")
+		}
+		d.missReturn = res.Done
+		c.outstandingMisses++
+		c.drainToSDB(d)
+		return
+	}
+	pushCmpl(&c.cmpl, res.Done, d)
+}
+
+// --- store drains ---
+
+// drainStores advances the design-specific store pipelines by one cycle.
+func (c *Core) drainStores() {
+	switch c.cfg.Design {
+	case DesignBaseline, DesignLargeSTQ:
+		c.drainCommitted(c.l1stq, nil)
+	case DesignFilteredSTQ:
+		c.drainCommitted(c.l1stq, c.mtb)
+	case DesignHierarchical:
+		// The L2 STQ holds the oldest stores once displacement has begun.
+		if c.l2stq.Len() > 0 {
+			c.drainCommitted(c.l2stq, c.mtb)
+		} else {
+			c.drainCommitted(c.l1stq, nil)
+		}
+	case DesignSRL:
+		if c.srlMode() {
+			c.moveL1STQToSRL()
+			c.drainSRLHead()
+		} else {
+			c.drainCommitted(c.l1stq, nil)
+		}
+		c.srlOcc.Set(c.cycle, uint64(c.srl.Len()))
+	}
+}
+
+// drainCommitted retires the queue head's store to the data cache once its
+// checkpoint has committed (conventional in-order memory update).
+func (c *Core) drainCommitted(q *lsq.StoreQueue, mtb *lsq.MTB) {
+	// Bulk commit makes whole checkpoints' stores drain-eligible at once;
+	// two combined writes per cycle absorb the burst (write combining).
+	for i := 0; i < 2*c.cfg.StorePorts; i++ {
+		h := q.Head()
+		if h == nil || h.Seq > c.lastCommittedSeq || !h.DataReady {
+			return
+		}
+		res := c.mem.Access(c.cycle, h.Addr, true)
+		if res.MSHRFull {
+			return
+		}
+		if mtb != nil && h.AddrKnown {
+			mtb.Remove(h.Addr)
+		}
+		if c.snoopSink != nil {
+			c.snoopSink(isa.LineAddr(h.Addr))
+		}
+		q.PopHead()
+	}
+}
+
+// moveL1STQToSRL advances the L1 STQ head into the SRL (Section 4.3): a
+// completed miss-independent store writes its address and data into the SRL
+// and updates the forwarding path; a miss-dependent store reserves its SRL
+// slot (recording the index for the later fill) and leaves the L1 STQ.
+func (c *Core) moveL1STQToSRL() {
+	if c.cycle < c.tempUpdateStall {
+		return // §6.5 variant: writeback/conflict holds store processing
+	}
+	for i := 0; i < 4; i++ { // L1 STQ drain bandwidth
+		h := c.l1stq.Head()
+		if h == nil {
+			return
+		}
+		if c.srl.Full() {
+			return
+		}
+		if h.DataReady {
+			// Independent (completed) store.
+			if c.fc == nil && c.cfg.Design == DesignSRL {
+				// §6.5 variant: the temporary update goes to the data
+				// cache, which costs real bandwidth — a dirty block must
+				// be written back first and associativity conflicts stall
+				// store processing (the costs Figure 10 measures).
+				if !c.tempUpdateDataCacheReady(h) {
+					return
+				}
+			}
+			if c.lcf != nil {
+				if !c.lcf.Inc(h.Addr, h.SRLIndex) {
+					return // LCF counter saturated: stall SRL allocation
+				}
+			}
+			e := *h
+			e.LCFCounted = c.lcf != nil
+			if _, ok := c.srl.Alloc(e); !ok {
+				if c.lcf != nil {
+					c.lcf.Dec(h.Addr)
+				}
+				return
+			}
+			// Temporary update for forwarding: the FC, or the data cache
+			// itself in the §6.5 variant.
+			if c.fc != nil {
+				c.fc.Update(h.Addr, h.Size, h.SRLIndex, h.Seq, h.Ckpt)
+			} else {
+				c.tempUpdateDataCache(h)
+			}
+			c.l1stq.PopHead()
+			continue
+		}
+		// Not yet completed: a miss-dependent (poisoned) store, or a store
+		// whose sources are still in flight. A poisoned store always
+		// reserves its SRL slot and leaves; a clean in-flight store leaves
+		// early only under L1 STQ pressure (displacement, like the
+		// hierarchical design's) — otherwise it completes in place within
+		// a few cycles and takes the fast independent path above.
+		su := c.uopBySeq(h.Seq)
+		if su == nil {
+			return
+		}
+		poisonedStore := su.poisoned && !su.done
+		pressure := c.l1stq.Len() >= c.l1stq.Cap()/2
+		if !su.done && (poisonedStore || pressure) {
+			e := *h
+			e.DataReady = false
+			if _, ok := c.srl.Alloc(e); !ok {
+				return
+			}
+			su.srlReserved = true
+			su.srlIdx = h.SRLIndex
+			if !poisonedStore && !su.addrKnown && !su.inUnknownList {
+				// Its address is unknown for disambiguation until it
+				// executes; screen loads against it like any other
+				// unknown-address store.
+				su.inUnknownList = true
+				c.unknownStores = append(c.unknownStores, su)
+			}
+			c.l1stq.PopHead()
+			continue
+		}
+		// Clean store about to complete: the head waits briefly.
+		return
+	}
+}
+
+// tempUpdateDataCacheReady gates the §6.5 variant's store processing: a
+// temporary update to a dirty block must wait for the writeback, an update
+// to an absent block must wait for its fetch, and a block speculatively
+// owned by another checkpoint stalls store processing entirely (the
+// associativity/one-version stalls Section 6.5 describes). Each condition
+// holds the L1 STQ head for (at least) a cycle.
+func (c *Core) tempUpdateDataCacheReady(h *lsq.StoreEntry) bool {
+	ps := c.mem.ProbeState(h.Addr)
+	if ps != "l1" {
+		// Fetch the block before the temporary update can be applied.
+		c.mem.Access(c.cycle, h.Addr, false)
+		c.counters.Inc("temp_update_fetch_stalls")
+		return false
+	}
+	// One version of a block per checkpoint: a temporary update to a block
+	// speculatively owned by another live checkpoint stalls store
+	// processing until that checkpoint commits (Section 4.3).
+	sw := c.mem.L1.SpecWrite(h.Addr, h.Ckpt, true)
+	if sw.Conflict {
+		if c.findCkpt(sw.OwnerCkpt) == nil {
+			c.mem.L1.CommitSpec(sw.OwnerCkpt)
+			return true
+		}
+		c.counters.Inc("temp_update_version_stalls")
+		c.tempUpdateStall = c.cycle + 2
+		return false
+	}
+	return true
+}
+
+// tempUpdateDataCache performs the §6.5 variant's temporary update into the
+// L1 data cache, paying the dirty-writeback and fetch costs Section 6.5
+// describes.
+func (c *Core) tempUpdateDataCache(h *lsq.StoreEntry) {
+	sw := c.specWriteResolvingDeadOwnersTemp(h.Addr, h.Ckpt, true)
+	if !sw.Present {
+		c.mem.Access(c.cycle, h.Addr, true)
+		sw = c.mem.L1.SpecWrite(h.Addr, h.Ckpt, true)
+	}
+	if sw.NeededWriteback {
+		// The pre-update writeback consumes the cache write port: delay
+		// subsequent store processing by holding the drain a cycle.
+		c.counters.Inc("spec_writebacks")
+		c.tempUpdateStall = c.cycle + c.cfg.L2STQLatency
+	}
+	if sw.Conflict {
+		c.counters.Inc("spec_conflicts")
+		c.tempUpdateStall = c.cycle + c.cfg.L2STQLatency
+	}
+}
+
+// specWriteResolvingDeadOwners performs a speculative cache write,
+// resolving one-version conflicts against checkpoints that no longer exist:
+// a committed owner's line becomes architectural; a squashed owner's line
+// was already discarded, so any survivor is stale bookkeeping.
+func (c *Core) specWriteResolvingDeadOwners(addr uint64, ckpt int) cachesimSpecResult {
+	return c.specWriteResolvingDeadOwnersTemp(addr, ckpt, false)
+}
+
+func (c *Core) specWriteResolvingDeadOwnersTemp(addr uint64, ckpt int, temp bool) cachesimSpecResult {
+	sw := c.mem.L1.SpecWrite(addr, ckpt, temp)
+	if sw.Conflict && c.findCkpt(sw.OwnerCkpt) == nil {
+		c.mem.L1.CommitSpec(sw.OwnerCkpt)
+		sw = c.mem.L1.SpecWrite(addr, ckpt, temp)
+	}
+	return sw
+}
+
+// drainSRLHead performs one redo cache update (Section 4.1): the SRL head
+// store re-updates the data cache in program order, gated by the
+// write-after-read order tracker, and looks up the secondary load buffer to
+// detect memory dependence violations (Section 4.2, case vi).
+func (c *Core) drainSRLHead() {
+	for i := 0; i < c.cfg.StorePorts; i++ {
+		h := c.srl.Head()
+		if h == nil {
+			return
+		}
+		if !h.DataReady {
+			c.counters.Inc("srl_drain_wait_data")
+			return // miss-dependent store not yet re-executed
+		}
+		if c.cfg.UseWARTracker && !c.order.AllLoadsOlderThanDone(h.Seq) {
+			c.counters.Inc("srl_drain_wait_war")
+			return // prior loads must read the pre-store memory image first
+		}
+		if h.Seq <= c.lastCommittedSeq {
+			// The store's checkpoint has committed: this is an ordinary
+			// architectural write (drains run behind bulk commit).
+			res := c.mem.Access(c.cycle, h.Addr, true)
+			if res.MSHRFull {
+				return
+			}
+		} else {
+			sw := c.specWriteResolvingDeadOwners(h.Addr, h.Ckpt)
+			if sw.Conflict && sw.OwnerTemp {
+				// The conflicting version is a stale temporary update; the
+				// in-order redo supersedes it. Discard and rewrite (the
+				// committed data was written back before the temporary
+				// overwrite, so nothing is lost).
+				c.mem.L1.Invalidate(h.Addr)
+				c.counters.Inc("srl_drain_temp_discards")
+				sw = c.mem.L1.SpecWrite(h.Addr, h.Ckpt, false)
+			}
+			if sw.Conflict {
+				c.counters.Inc("srl_drain_spec_conflicts")
+				if debugInvariants && c.counters.Get("srl_drain_spec_conflicts") == 2000 {
+					debugTrace("spec conflict cyc=%d head seq=%d ckpt=%d owner=%d ownerLive=%v oldest=%d lastCommit=%d",
+						c.cycle, h.Seq, h.Ckpt, sw.OwnerCkpt, c.findCkpt(sw.OwnerCkpt) != nil, c.oldestCkptID(), c.lastCommittedSeq)
+					ck0 := c.ckpts[0]
+					debugTrace("ckpt0 id=%d start=%d uops=%d pending=%d", ck0.id, ck0.startSeq, ck0.uops, ck0.pending)
+					for i := 0; i < c.win.len(); i++ {
+						d := c.win.at(i)
+						if d.allocated && !d.done && d.ckptID == ck0.id {
+							debugTrace("  pending uop %s ckpt=%d inSched=%v pois=%v inSDB=%v stall=%v missRet=%d pendSrc=%d nearest=%d",
+								d.u.String(), d.ckptID, d.inSched, d.poisoned, d.inSDB, d.srlStalled, d.missReturn, d.pendingSrc, d.nearestStoreID)
+						}
+					}
+				}
+				return // one speculative version per block (Section 4.3)
+			}
+			res := c.mem.Access(c.cycle, h.Addr, true)
+			if res.MSHRFull {
+				return
+			}
+			if !sw.Present {
+				c.mem.L1.SpecWrite(h.Addr, h.Ckpt, false)
+			}
+		}
+		if h.LCFCounted && c.lcf != nil {
+			c.lcf.Dec(h.Addr)
+		}
+		if c.snoopSink != nil {
+			c.snoopSink(isa.LineAddr(h.Addr))
+		}
+		storeIdx := h.SRLIndex
+		addr, size := h.Addr, h.Size
+		if su := c.uopBySeq(h.Seq); su != nil {
+			su.everRedone = true // counted once, at commit
+		} else {
+			c.res.RedoneStores++ // store already committed; count directly
+		}
+		c.srl.PopHead()
+		if c.srl.Empty() {
+			c.redoActive = false
+		}
+		if v, found := c.ldbuf.StoreCheck(addr, size, storeIdx); found {
+			c.res.MemDepViolations++
+			c.restart(v.Ckpt, c.cfg.MispredictPenalty)
+			return
+		}
+	}
+}

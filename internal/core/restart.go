@@ -1,0 +1,198 @@
+package core
+
+import "srlproc/internal/isa"
+
+// restart implements CPR checkpoint recovery: execution rolls back to the
+// start of the checkpoint with id ckptID (the violating load's or
+// mispredicted branch's checkpoint) and replays from there. All younger
+// state — scheduler entries, registers, store queue and SRL entries, FC and
+// load buffer contents, SDB residents, speculative cache lines — is
+// bulk-squashed; the replayed micro-ops re-enter through the normal
+// allocate path from the in-window ring.
+func (c *Core) restart(ckptID int, penalty uint64) {
+	ck := c.findCkpt(ckptID)
+	if ck == nil {
+		// The checkpoint has already committed (stale violation); nothing
+		// younger than commit can be rolled back — restart from the oldest
+		// live checkpoint instead.
+		ck = c.ckpts[0]
+	}
+	fromSeq := ck.startSeq
+	pos := c.win.indexOfSeq(fromSeq)
+	if pos < 0 {
+		// The checkpoint's first uop was never (re)fetched yet (restart at
+		// the very fetch frontier): nothing to squash.
+		if c.win.len() > 0 && fromSeq > c.win.at(c.win.len()-1).u.Seq {
+			pos = c.win.len()
+		} else {
+			pos = 0
+		}
+	}
+	c.res.Restarts++
+	if c.win.len() > pos {
+		c.res.ReplayedUops += uint64(c.win.len() - pos)
+	}
+	if debugInvariants {
+		headSeq := uint64(0)
+		if c.win.len() > 0 {
+			headSeq = c.win.at(0).u.Seq
+		}
+		debugTrace("restart cyc=%d ckptID=%d found=%v fromSeq=%d pos=%d head=%d winLen=%d replayPos=%d nCkpts=%d oldest=%d cur=%d",
+			c.cycle, ckptID, c.findCkpt(ckptID) != nil, fromSeq, pos, headSeq, c.win.len(), c.replayPos, len(c.ckpts), c.ckpts[0].startSeq, c.curCkpt().startSeq)
+	}
+
+	// Reset per-uop dynamic state for everything from the restart point.
+	for i := pos; i < c.win.len(); i++ {
+		d := c.win.at(i)
+		d.epoch++
+		if d.inSched {
+			d.inSched = false
+			c.schedFree(d.u.Class)
+		}
+		c.regFree(d)
+		if d.allocated && d.isLoad() {
+			c.loadsInWindow--
+		}
+		if d.allocated && d.isStore() {
+			c.storesInWindow--
+		}
+		if d.allocated && d.missReturn > 0 && !d.done {
+			c.outstandingMisses--
+		}
+		d.allocated = false
+		d.issued = false
+		d.done = false
+		d.poisoned = false
+		d.inSDB = false
+		d.pendingSrc = 0
+		d.waiters = nil
+		d.prod[0], d.prod[1] = nil, nil
+		d.missReturn = 0
+		d.srlReserved = false
+		d.srlIdx = 0
+		d.addrKnown = false
+		d.srlStalled = false
+		d.inL2STQ = false
+		d.stqSlot = -1
+		d.fwdStoreID = 0
+		d.memDep = nil
+		d.inUnknownList = false
+		// d.everInSDB is deliberately preserved: miss-dependence is
+		// counted once per uop even across replays.
+	}
+
+	squashBelow := fromSeq // entries with Seq >= fromSeq are squashed
+	// Slice data buffer (stale heap entries are dropped lazily; recount the
+	// live population) and companion lists.
+	live := 0
+	for _, re := range c.sdb {
+		if re.d.allocated && re.d.inSDB && re.epoch == re.d.epoch {
+			live++
+		}
+	}
+	c.sdbCount = live
+	c.pendDrain = filterUops(c.pendDrain, squashBelow)
+	c.srlStalled = filterUops(c.srlStalled, squashBelow)
+	c.unknownStores = filterUops(c.unknownStores, squashBelow)
+	c.deferred = filterUops(c.deferred, squashBelow)
+
+	// Store/load structures.
+	for _, e := range c.l1stq.SquashYoungerThan(squashBelow - 1) {
+		if c.cfg.Design == DesignFilteredSTQ && e.AddrKnown {
+			c.mtb.Remove(e.Addr)
+		}
+	}
+	if c.l2stq != nil {
+		for _, e := range c.l2stq.SquashYoungerThan(squashBelow - 1) {
+			if e.AddrKnown {
+				c.mtb.Remove(e.Addr)
+			}
+		}
+	}
+	if c.srl != nil {
+		for _, e := range c.srl.SquashYoungerThan(squashBelow - 1) {
+			if e.LCFCounted && c.lcf != nil {
+				c.lcf.Dec(e.Addr)
+			}
+		}
+		if c.srl.Empty() {
+			c.redoActive = false
+		}
+	}
+	if c.fc != nil {
+		c.fc.SquashYoungerThan(squashBelow - 1)
+	}
+	c.ldbuf.SquashYoungerThan(squashBelow - 1)
+	c.order.SquashYoungerThan(squashBelow - 1)
+	c.mem.DiscardSpecInto(c.cycle, c.mem.L1.DiscardSpecFrom(ck.id))
+
+	// Checkpoint file: free everything younger than ck, reset ck itself.
+	for i, k := range c.ckpts {
+		if k.id == ck.id {
+			c.ckpts = c.ckpts[:i+1]
+			break
+		}
+	}
+	ck.pending = 0
+	ck.uops = 0
+	ck.closed = false
+
+	// Recount the unknown-address store population over the surviving
+	// store queue contents.
+	c.unknownAddrStores = 0
+	for i := 0; i < c.win.len(); i++ {
+		d := c.win.at(i)
+		if d.allocated && d.isStore() && !d.addrKnown {
+			c.unknownAddrStores++
+		}
+	}
+
+	// Restore the rename map and store-identifier counter from the
+	// checkpoint snapshot, set the replay position, and pay the redirect.
+	c.lastWriter = ck.renameSnap
+	c.storeCounter = ck.startStoreID
+	c.replayPos = pos
+	c.forceShortCkpt = true
+	if resume := c.cycle + penalty; resume > c.fetchResume {
+		c.fetchResume = resume
+	}
+}
+
+func filterUops(list []*dynUop, squashBelow uint64) []*dynUop {
+	out := list[:0]
+	for _, d := range list {
+		if d.u.Seq < squashBelow && d.allocated {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// injectSnoops models external processors' stores arriving at this core's
+// coherence port. A snoop invalidates the line and searches the (secondary)
+// load buffer; any hit is a multiprocessor ordering violation and execution
+// restarts from the oldest matching load's checkpoint (Section 3).
+func (c *Core) injectSnoops() {
+	if !c.cfg.SnoopsEnabled || c.prof.SnoopPer1KCycles <= 0 {
+		return
+	}
+	if !c.snoopRNG.Bool(c.prof.SnoopPer1KCycles / 1000.0) {
+		return
+	}
+	var addr uint64
+	if c.snoopRNG.Bool(0.5) {
+		addr = c.recentLoads[c.snoopRNG.Intn(len(c.recentLoads))]
+		if addr == 0 {
+			return
+		}
+	} else {
+		// A random heap line (usually misses everything).
+		addr = 0x4000_0000 + c.snoopRNG.Uint64n(1<<20)*isa.CacheLineSize
+	}
+	c.counters.Inc("snoops_injected")
+	c.mem.Snoop(addr)
+	if v, found := c.ldbuf.SnoopCheck(addr); found {
+		c.res.SnoopViolations++
+		c.restart(v.Ckpt, c.cfg.MispredictPenalty)
+	}
+}

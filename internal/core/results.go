@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"srlproc/internal/stats"
+	"srlproc/internal/trace"
+)
+
+// Results holds everything one simulation run reports.
+type Results struct {
+	Suite  trace.Suite
+	Design StoreDesign
+
+	Cycles uint64
+	Uops   uint64 // committed micro-ops in the measured region
+	Loads  uint64
+	Stores uint64
+
+	// CFP / slice statistics (Table 3 inputs).
+	MissDependentUops   uint64 // uops that drained to the SDB at least once
+	MissDependentStores uint64
+	RedoneStores        uint64 // stores drained from the SRL
+	SRLLoadStalls       uint64 // loads stalled on a possible SRL match
+	IndexedForwards     uint64
+
+	// Forwarding sources.
+	L1STQForwards uint64
+	L2STQForwards uint64
+	FCForwards    uint64
+
+	// Violations and restarts.
+	MemDepViolations   uint64
+	SnoopViolations    uint64
+	OverflowViolations uint64
+	BranchMispredicts  uint64
+	Restarts           uint64
+	ReplayedUops       uint64
+
+	// Memory system.
+	L1Misses     uint64
+	L2Misses     uint64
+	MemAccesses  uint64
+	Writebacks   uint64
+	SpecDiscards uint64 // data-cache temporary updates discarded (§6.5 variant)
+
+	// Stall accounting (allocation stall cycles by cause).
+	StallSTQ    uint64
+	StallLQ     uint64
+	StallSched  uint64
+	StallRegs   uint64
+	StallCkpt   uint64
+	StallWindow uint64
+	StallSDB    uint64
+
+	// SRL occupancy (Figure 7 / Table 3 col 6).
+	SRLOccupancy *stats.OccupancyTracker
+
+	// Structure activity for the power model.
+	CamSearches  uint64
+	CamEntryOps  uint64
+	LCFProbes    uint64
+	LCFNonZero   uint64
+	LCFOverflows uint64
+	FCLookups    uint64
+	FCHits       uint64
+	LBLookups    uint64
+	LBEntryCmps  uint64
+	LBOverflows  uint64
+	MTBProbes    uint64
+	MTBMaybes    uint64
+	SRLReads     uint64
+	SRLWrites    uint64
+
+	// Extra counters, free-form.
+	Counters *stats.Counters
+}
+
+// IPC returns committed micro-ops per cycle.
+func (r *Results) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Uops) / float64(r.Cycles)
+}
+
+// SpeedupOver returns the percent speedup of r over base for the same
+// committed uop count (the paper's y-axes).
+func (r *Results) SpeedupOver(base *Results) float64 {
+	if r.Cycles == 0 || base.Cycles == 0 {
+		return 0
+	}
+	return (float64(base.Cycles)/float64(r.Cycles) - 1) * 100
+}
+
+// PctMissDependentUops returns Table 3 column 4.
+func (r *Results) PctMissDependentUops() float64 {
+	if r.Uops == 0 {
+		return 0
+	}
+	return 100 * float64(r.MissDependentUops) / float64(r.Uops)
+}
+
+// PctMissDependentStores returns Table 3 column 3.
+func (r *Results) PctMissDependentStores() float64 {
+	if r.Stores == 0 {
+		return 0
+	}
+	return 100 * float64(r.MissDependentStores) / float64(r.Stores)
+}
+
+// PctRedoneStores returns Table 3 column 2.
+func (r *Results) PctRedoneStores() float64 {
+	if r.Stores == 0 {
+		return 0
+	}
+	return 100 * float64(r.RedoneStores) / float64(r.Stores)
+}
+
+// SRLStallsPer10K returns Table 3 column 5.
+func (r *Results) SRLStallsPer10K() float64 {
+	if r.Uops == 0 {
+		return 0
+	}
+	return 10_000 * float64(r.SRLLoadStalls) / float64(r.Uops)
+}
+
+// PctTimeSRLOccupied returns Table 3 column 6.
+func (r *Results) PctTimeSRLOccupied() float64 {
+	if r.SRLOccupancy == nil || r.SRLOccupancy.TotalCycles() == 0 {
+		return 0
+	}
+	return 100 * float64(r.SRLOccupancy.OccupiedCycles()) / float64(r.SRLOccupancy.TotalCycles())
+}
+
+// String renders a run summary.
+func (r *Results) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s: %d uops in %d cycles (IPC %.2f)\n",
+		r.Suite, r.Design, r.Uops, r.Cycles, r.IPC())
+	fmt.Fprintf(&b, "  loads=%d stores=%d missDepUops=%.1f%% missDepStores=%.1f%% redone=%.1f%%\n",
+		r.Loads, r.Stores, r.PctMissDependentUops(), r.PctMissDependentStores(), r.PctRedoneStores())
+	fmt.Fprintf(&b, "  fwd: L1STQ=%d L2STQ=%d FC=%d indexed=%d srlStalls=%d\n",
+		r.L1STQForwards, r.L2STQForwards, r.FCForwards, r.IndexedForwards, r.SRLLoadStalls)
+	fmt.Fprintf(&b, "  viol: memdep=%d snoop=%d overflow=%d mispred=%d restarts=%d\n",
+		r.MemDepViolations, r.SnoopViolations, r.OverflowViolations, r.BranchMispredicts, r.Restarts)
+	fmt.Fprintf(&b, "  mem: L1miss=%d L2miss=%d dram=%d\n", r.L1Misses, r.L2Misses, r.MemAccesses)
+	return b.String()
+}

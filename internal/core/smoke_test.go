@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"srlproc/internal/trace"
+)
+
+// shortCfg shrinks a config for fast unit testing.
+func shortCfg(d StoreDesign) Config {
+	cfg := DefaultConfig(d)
+	cfg.WarmupUops = 5_000
+	cfg.RunUops = 20_000
+	return cfg
+}
+
+func TestSmokeAllDesigns(t *testing.T) {
+	for _, d := range []StoreDesign{DesignBaseline, DesignLargeSTQ, DesignHierarchical, DesignSRL} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := shortCfg(d)
+			if d == DesignLargeSTQ {
+				cfg.STQSize = 1024
+			}
+			c, err := New(cfg, trace.SINT2K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := c.Run()
+			if res.Uops < cfg.RunUops {
+				t.Fatalf("committed %d uops, want >= %d", res.Uops, cfg.RunUops)
+			}
+			if res.Cycles == 0 {
+				t.Fatal("no cycles elapsed")
+			}
+			ipc := res.IPC()
+			if ipc <= 0.05 || ipc > float64(cfg.IssueWidth) {
+				t.Fatalf("implausible IPC %.3f", ipc)
+			}
+			t.Logf("%s: IPC=%.2f loads=%d stores=%d missDep=%.1f%% restarts=%d",
+				d, ipc, res.Loads, res.Stores, res.PctMissDependentUops(), res.Restarts)
+		})
+	}
+}
+
+func TestSmokeAllSuitesSRL(t *testing.T) {
+	for _, s := range trace.AllSuites() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			c, err := New(shortCfg(DesignSRL), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := c.Run()
+			if res.Uops < 20_000 {
+				t.Fatalf("committed %d uops", res.Uops)
+			}
+			t.Logf("%s: IPC=%.2f redone=%.1f%% missDepStores=%.1f%% srlOcc=%.1f%% stalls/10k=%.1f",
+				s, res.IPC(), res.PctRedoneStores(), res.PctMissDependentStores(),
+				res.PctTimeSRLOccupied(), res.SRLStallsPer10K())
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Results {
+		c, err := New(shortCfg(DesignSRL), trace.SFP2K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Run()
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Uops != b.Uops || a.Restarts != b.Restarts {
+		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Cycles, a.Uops, a.Restarts, b.Cycles, b.Uops, b.Restarts)
+	}
+}

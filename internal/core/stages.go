@@ -1,0 +1,810 @@
+package core
+
+import (
+	"container/heap"
+
+	"srlproc/internal/isa"
+	"srlproc/internal/lsq"
+)
+
+// waiter registration: consumers subscribe to producers with their epoch so
+// a squashed consumer's stale subscription is ignored.
+func (c *Core) addWaiter(producer, consumer *dynUop) {
+	consumer.pendingSrc++
+	producer.waiters = append(producer.waiters, consumer)
+}
+
+// wakeWaiters notifies consumers that d's value (or poison) is available.
+func (c *Core) wakeWaiters(d *dynUop) {
+	ws := d.waiters
+	d.waiters = nil
+	for _, w := range ws {
+		if !w.allocated || w.committed {
+			continue
+		}
+		if w.pendingSrc > 0 {
+			w.pendingSrc--
+		}
+		if w.pendingSrc == 0 && w.inSched {
+			pushReady(&c.ready, w)
+		}
+	}
+}
+
+// --- resource helpers ---
+
+// sliceReserve is the number of scheduler entries per window reserved for
+// slice reinsertion: the SDB must always be able to re-acquire resources or
+// the pipeline deadlocks (consumers of a stalled load can otherwise fill
+// the scheduler while the load's own slice waits to re-enter).
+const sliceReserve = 4
+
+// schedAvail reports front-end allocation space (leaving the reserve).
+func (c *Core) schedAvail(cl isa.Class) bool {
+	switch {
+	case cl.IsMem():
+		return c.schedMem < c.cfg.SchedMem-sliceReserve
+	case cl.IsFP():
+		return c.schedFP < c.cfg.SchedFP-sliceReserve
+	default:
+		return c.schedInt < c.cfg.SchedInt-sliceReserve
+	}
+}
+
+// schedAvailSlice reports reinsertion space (full window, including the
+// reserve).
+func (c *Core) schedAvailSlice(cl isa.Class) bool {
+	switch {
+	case cl.IsMem():
+		return c.schedMem < c.cfg.SchedMem
+	case cl.IsFP():
+		return c.schedFP < c.cfg.SchedFP
+	default:
+		return c.schedInt < c.cfg.SchedInt
+	}
+}
+
+func (c *Core) schedTake(cl isa.Class) {
+	switch {
+	case cl.IsMem():
+		c.schedMem++
+	case cl.IsFP():
+		c.schedFP++
+	default:
+		c.schedInt++
+	}
+}
+
+func (c *Core) schedFree(cl isa.Class) {
+	switch {
+	case cl.IsMem():
+		c.schedMem--
+	case cl.IsFP():
+		c.schedFP--
+	default:
+		c.schedInt--
+	}
+}
+
+// regAvail reports front-end allocation space, leaving a reserve for slice
+// reinsertion (same rationale as the scheduler reserve: the SDB must always
+// be able to re-acquire a destination register, or stalled loads holding
+// registers can deadlock the redo).
+func (c *Core) regAvail(d *dynUop) bool {
+	if d.u.Dst == isa.NoReg {
+		return true
+	}
+	if d.u.Class.IsFP() {
+		return c.regsFP < c.cfg.FPRegs-sliceReserve
+	}
+	return c.regsInt < c.cfg.IntRegs-sliceReserve
+}
+
+// regAvailSlice reports reinsertion space (full register file).
+func (c *Core) regAvailSlice(d *dynUop) bool {
+	if d.u.Dst == isa.NoReg {
+		return true
+	}
+	if d.u.Class.IsFP() {
+		return c.regsFP < c.cfg.FPRegs
+	}
+	return c.regsInt < c.cfg.IntRegs
+}
+
+func (c *Core) regTake(d *dynUop) {
+	if d.u.Dst == isa.NoReg {
+		return
+	}
+	if d.u.Class.IsFP() {
+		c.regsFP++
+	} else {
+		c.regsInt++
+	}
+	d.holdsReg = true
+}
+
+func (c *Core) regFree(d *dynUop) {
+	if !d.holdsReg {
+		return
+	}
+	if d.u.Class.IsFP() {
+		c.regsFP--
+	} else {
+		c.regsInt--
+	}
+	d.holdsReg = false
+}
+
+// --- slice (CFP) handling ---
+
+// drainToSDB moves a poisoned uop out of the pipeline into the slice data
+// buffer, releasing its scheduler entry and register — the Continual Flow
+// Pipeline property that keeps cycle-critical resources small.
+func (c *Core) drainToSDB(d *dynUop) {
+	d.poisoned = true
+	if d.inSched {
+		d.inSched = false
+		c.schedFree(d.u.Class)
+	}
+	c.regFree(d)
+	if !d.everInSDB {
+		d.everInSDB = true
+		c.res.MissDependentUops++
+		if d.isStore() {
+			c.res.MissDependentStores++
+		}
+		switch {
+		case d.missReturn > 0:
+			c.counters.Inc("sdb_cause_miss_root")
+		case d.memDep != nil && d.memDep.poisoned && !d.memDep.done:
+			c.counters.Inc("sdb_cause_memdep")
+		default:
+			c.counters.Inc("sdb_cause_poisoned_src_" + d.u.Class.String())
+		}
+	}
+	if c.sdbCount < c.cfg.SDBSize {
+		d.inSDB = true
+		c.sdbCount++
+		pushReady(&c.sdb, d)
+	} else {
+		c.pendDrain = append(c.pendDrain, d)
+	}
+	// For stores with a known (clean) address, record the address in the
+	// store queue entry so loads can disambiguate against it; otherwise the
+	// store's address is unknown and the dependence predictor screens loads.
+	if d.isStore() {
+		ap := d.prod[0]
+		if (ap == nil || ap.done) && !d.addrKnown {
+			if e := c.locateStoreEntry(d); e != nil {
+				e.AddrKnown = true
+				e.Addr = d.u.Addr
+				e.Size = d.u.Size
+				d.addrKnown = true
+				c.noteStoreAddrKnown()
+				if c.cfg.Design == DesignFilteredSTQ {
+					c.mtb.Add(d.u.Addr)
+				}
+			}
+		}
+		if !d.addrKnown && !d.inUnknownList {
+			d.inUnknownList = true
+			c.unknownStores = append(c.unknownStores, d)
+		}
+	}
+	// Poison propagates to consumers.
+	c.wakeWaiters(d)
+}
+
+func (c *Core) movePendingDrains() {
+	for len(c.pendDrain) > 0 && c.sdbCount < c.cfg.SDBSize {
+		d := c.pendDrain[0]
+		c.pendDrain = c.pendDrain[1:]
+		if d.poisoned && !d.inSDB && d.allocated {
+			d.inSDB = true
+			c.sdbCount++
+			pushReady(&c.sdb, d)
+		}
+	}
+	if len(c.pendDrain) > 0 {
+		c.res.StallSDB++
+	}
+}
+
+// sliceHeadReady reports whether the SDB head can re-enter the pipeline.
+func (c *Core) sliceHeadReady(d *dynUop) bool {
+	if d.missReturn > 0 {
+		return c.cycle >= d.missReturn
+	}
+	for i := range d.prod {
+		if !d.srcAvailable(i) {
+			return false
+		}
+	}
+	if m := d.memDep; m != nil && !m.done && !m.poisoned && m.allocated {
+		return false
+	}
+	return true
+}
+
+// reinsertSlice drains the SDB head back into the pipeline when the miss
+// data has returned (Section 2.1: slice re-acquires resources and executes,
+// interleaved in program order with the redo of independent stores).
+// sdbHead returns the oldest live SDB resident, discarding stale heap
+// entries (squashed or already-removed uops).
+func (c *Core) sdbHead() *dynUop {
+	for c.sdb.Len() > 0 {
+		re := c.sdb[0]
+		if re.epoch != re.d.epoch || !re.d.allocated || !re.d.inSDB || !re.d.poisoned {
+			heapPopSDB(&c.sdb)
+			continue
+		}
+		return re.d
+	}
+	return nil
+}
+
+func (c *Core) popSDB(d *dynUop) {
+	heapPopSDB(&c.sdb)
+	d.inSDB = false
+	c.sdbCount--
+}
+
+func (c *Core) reinsertSlice() {
+	budget := c.cfg.AllocWidth
+	for budget > 0 {
+		d := c.sdbHead()
+		if d == nil {
+			break
+		}
+		if !c.sliceHeadReady(d) {
+			break
+		}
+		if d.missReturn > 0 {
+			// The miss load itself: its data arrived from memory; it
+			// completes directly (the register write of the returning
+			// fill), consuming a register but no execution slot.
+			if !c.regAvailSlice(d) {
+				c.res.StallRegs++
+				break
+			}
+			c.popSDB(d)
+			budget--
+			d.poisoned = false
+			c.regTake(d)
+			d.fwdStoreID = lsq.NoFwd
+			c.outstandingMisses--
+			d.missReturn = 0
+			c.onMissReturn()
+			c.complete(d)
+			continue
+		}
+		if d.anyPoisonedSrc() {
+			// The oldest poisoned uop cannot itself have a poisoned-in-SDB
+			// producer (the producer would be older and thus at the head),
+			// so this only occurs transiently via the pending-drain list;
+			// wait for the producer to enter the SDB.
+			break
+		}
+		// Re-acquire scheduler and register resources and re-execute.
+		if !c.schedAvailSlice(d.u.Class) {
+			c.res.StallSched++
+			break
+		}
+		if !c.regAvailSlice(d) {
+			c.res.StallRegs++
+			break
+		}
+		c.popSDB(d)
+		budget--
+		d.poisoned = false
+		d.inSched = true
+		c.schedTake(d.u.Class)
+		c.regTake(d)
+		d.pendingSrc = 0
+		pushReady(&c.ready, d)
+	}
+}
+
+// onMissReturn implements the "temporary updates are discarded when the
+// miss returns" rule: the forwarding cache (or the data cache's temporary
+// lines in the §6.5 variant) is flash-cleared as the redo begins.
+func (c *Core) onMissReturn() {
+	if c.cfg.Design != DesignSRL {
+		return
+	}
+	// Discard temporary updates once per redo episode (the first returning
+	// miss starts the redo; later returns of the same burst join it).
+	if c.redoActive || c.srl.Empty() {
+		return
+	}
+	c.redoActive = true
+	if c.fc != nil {
+		c.fc.DiscardAll()
+	} else {
+		// Temporary updates discarded: the next access re-misses to L2 —
+		// the extra redo-phase misses of §6.5.
+		addrs := c.mem.L1.DiscardSpecTemp()
+		c.res.SpecDiscards += uint64(c.mem.DiscardSpecInto(c.cycle, addrs))
+	}
+}
+
+// --- completion ---
+
+// complete finishes a uop's execution with real data.
+func (c *Core) complete(d *dynUop) {
+	if d.done || !d.allocated {
+		return
+	}
+	d.done = true
+	d.poisoned = false
+	d.doneCycle = c.cycle
+	c.regFree(d)
+	if ck := c.findCkpt(d.ckptID); ck != nil {
+		ck.pending--
+	}
+
+	restarted := false
+	switch {
+	case d.isLoad():
+		c.order.LoadCompleted(d.u.Seq)
+		c.noteRecentLoad(d.u.Addr)
+		entry := lsq.LoadEntry{
+			Seq: d.u.Seq, PC: d.u.PC, Addr: d.u.Addr, Size: d.u.Size,
+			NearestStoreID: d.nearestStoreID, FwdStoreID: d.fwdStoreID,
+			Ckpt: d.ckptID,
+		}
+		if !c.ldbuf.Insert(entry) {
+			// Set overflow with the violate-on-overflow policy: take a
+			// memory ordering violation (Section 3).
+			c.res.OverflowViolations++
+			c.wakeWaiters(d)
+			c.restart(d.ckptID, c.cfg.MispredictPenalty)
+			return
+		}
+	case d.isStore():
+		restarted = c.completeStore(d)
+	case d.u.Class == isa.Branch:
+		c.wakeWaiters(d)
+		c.resolveBranch(d)
+		return
+	}
+	if !restarted {
+		c.wakeWaiters(d)
+	}
+}
+
+// locateStoreEntry finds d's store queue entry (L1 or, in the hierarchical
+// design, L2 after displacement).
+func (c *Core) locateStoreEntry(d *dynUop) *lsq.StoreEntry {
+	if d.inL2STQ && c.l2stq != nil {
+		return c.l2stq.Locate(d.stqSlot, d.u.Seq)
+	}
+	return c.l1stq.Locate(d.stqSlot, d.u.Seq)
+}
+
+// completeStore captures a store's address and data, fills its SRL slot if
+// one was reserved, and performs the load-buffer violation check of
+// Sections 3 and 4.2 (cases v/vi). Returns true if a restart was triggered.
+func (c *Core) completeStore(d *dynUop) bool {
+	wasUnknown := !d.addrKnown
+	d.addrKnown = true
+	if wasUnknown {
+		c.noteStoreAddrKnown()
+		if c.cfg.Design == DesignFilteredSTQ {
+			c.mtb.Add(d.u.Addr)
+		}
+	}
+	if e := c.locateStoreEntry(d); e != nil {
+		e.AddrKnown = true
+		e.Addr = d.u.Addr
+		e.Size = d.u.Size
+		e.DataReady = true
+		// A store displaced to the L2 STQ with an unknown address joins
+		// the membership test buffer once the address resolves.
+		if wasUnknown && d.inL2STQ && c.mtb != nil {
+			c.mtb.Add(d.u.Addr)
+		}
+	} else if d.srlReserved && c.srl != nil {
+		c.srl.Fill(d.srlIdx, d.u.Addr, d.u.Size)
+		if c.lcf != nil {
+			if se := c.srl.Get(d.srlIdx); se != nil {
+				c.lcf.Inc(d.u.Addr, d.srlIdx)
+				se.LCFCounted = true
+				se.Ckpt = d.ckptID
+			}
+		}
+		// The completing store also performs its temporary forwarding
+		// update (it has left the L1 STQ; later independent loads source
+		// its data from the FC or the data cache, Section 4.1).
+		if c.fc != nil {
+			c.fc.Update(d.u.Addr, d.u.Size, d.srlIdx, d.u.Seq, d.ckptID)
+		} else if c.cfg.Design == DesignSRL && !c.cfg.UseFC {
+			if se := c.srl.Get(d.srlIdx); se != nil {
+				c.tempUpdateDataCache(se)
+			}
+		}
+	}
+	if wasUnknown {
+		c.removeUnknownStore(d)
+	}
+	// A store whose address was unknown while younger loads executed may
+	// expose a memory dependence violation now.
+	if v, found := c.ldbuf.StoreCheck(d.u.Addr, d.u.Size, d.storeID); found {
+		c.res.MemDepViolations++
+		c.mdp.RecordViolation(v.LoadPC, d.u.PC)
+		c.wakeWaiters(d)
+		c.restart(v.Ckpt, c.cfg.MispredictPenalty)
+		return true
+	}
+	return false
+}
+
+func (c *Core) removeUnknownStore(d *dynUop) {
+	d.inUnknownList = false
+	out := c.unknownStores[:0]
+	for _, s := range c.unknownStores {
+		if s != d {
+			out = append(out, s)
+		}
+	}
+	c.unknownStores = out
+}
+
+// resolveBranch triggers misprediction recovery (the predictor itself was
+// trained in program order at allocation).
+func (c *Core) resolveBranch(d *dynUop) {
+	if d.brResolved {
+		return // replayed after recovery; the front end knows the outcome
+	}
+	d.brResolved = true
+	if d.predTaken != d.u.Taken {
+		c.res.BranchMispredicts++
+		c.restart(d.ckptID, c.cfg.MispredictPenalty)
+	}
+}
+
+// --- commit ---
+
+func (c *Core) commitCheckpoints() {
+	for len(c.ckpts) > 0 {
+		ck := c.ckpts[0]
+		if !ck.closed || ck.pending > 0 {
+			return
+		}
+		// Bulk commit (CPR commits a checkpoint instantaneously once its
+		// completion counter reaches zero).
+		endSeq := ck.startSeq + uint64(ck.uops) - 1
+		c.lastCommittedSeq = endSeq
+		for c.win.len() > 0 && c.win.at(0).u.Seq <= endSeq {
+			d := c.win.popFront()
+			d.committed = true
+			c.committed++
+			c.replayPos--
+			if d.isLoad() {
+				c.loadsInWindow--
+				if c.measuring {
+					c.res.Loads++
+				}
+			}
+			if d.isStore() {
+				c.storesInWindow--
+				if c.measuring {
+					c.res.Stores++
+					if d.everRedone {
+						c.res.RedoneStores++
+					}
+				}
+			}
+		}
+		c.ldbuf.CommitCkpt(ck.id)
+		c.mem.L1.CommitSpec(ck.id)
+		c.ckpts = c.ckpts[1:]
+		if len(c.ckpts) == 0 {
+			// Always keep a live checkpoint to allocate into.
+			c.newCheckpoint(c.lastCommittedSeq + 1)
+		}
+	}
+}
+
+// --- issue ---
+
+func (c *Core) issue() {
+	// Re-arm uops deferred to this cycle (MSHR-full retries).
+	for _, d := range c.deferred {
+		if d.allocated && d.inSched {
+			pushReady(&c.ready, d)
+		}
+	}
+	c.deferred = c.deferred[:0]
+
+	budget := c.cfg.IssueWidth
+	loadP := c.cfg.LoadPorts
+	storeP := c.cfg.StorePorts
+	var parked []readyEntry
+	for budget > 0 && c.ready.Len() > 0 {
+		re := heap.Pop(&c.ready).(readyEntry)
+		d := re.d
+		if re.epoch != d.epoch || !d.inSched || d.pendingSrc > 0 {
+			continue
+		}
+		if d.anyPoisonedSrc() {
+			c.drainToSDB(d)
+			budget--
+			continue
+		}
+		switch d.u.Class {
+		case isa.Load:
+			if loadP == 0 {
+				parked = append(parked, re)
+				continue
+			}
+			loadP--
+		case isa.Store:
+			if storeP == 0 {
+				parked = append(parked, re)
+				continue
+			}
+			storeP--
+		}
+		budget--
+		c.execute(d)
+	}
+	for _, re := range parked {
+		heap.Push(&c.ready, re)
+	}
+}
+
+// --- allocate / fetch ---
+
+func (c *Core) allocate() {
+	if c.cycle < c.fetchResume {
+		return
+	}
+	budget := c.cfg.AllocWidth
+	for budget > 0 {
+		replay := c.replayPos < c.win.len()
+		var d *dynUop
+		if replay {
+			d = c.win.at(c.replayPos)
+		} else if c.pendingFetch != nil {
+			d = c.pendingFetch
+		} else {
+			if c.win.full() {
+				c.res.StallWindow++
+				return
+			}
+			u := c.gen.Next()
+			d = &dynUop{u: u, ckptID: -1, stqSlot: -1}
+			c.pendingFetch = d
+		}
+
+		// Checkpoint placement: interval boundary, stall-closed checkpoint,
+		// or low-confidence branch.
+		ck := c.curCkpt()
+		needNew := ck.closed || ck.uops >= c.cfg.CkptInterval
+		// Forward progress (Section 3): create a checkpoint soon after a
+		// restart so the restarted region commits piecewise even if the
+		// violation recurs.
+		if c.forceShortCkpt && ck.uops >= 8 && len(c.ckpts) < c.cfg.Checkpoints {
+			needNew = true
+			c.forceShortCkpt = false
+		}
+		// Miss-free store pressure: close the checkpoint proactively so
+		// resident stores become commit-eligible before a small store
+		// queue fills (CPR adapts checkpoint boundaries to resource
+		// pressure). The threshold is the in-window store population —
+		// deliberately independent of the design's store queue size, so
+		// every design sees the same checkpoint cadence and none gets a
+		// cheaper-misprediction subsidy. During a miss the window must
+		// keep growing instead; that is the behaviour under study.
+		if !needNew && c.outstandingMisses == 0 && ck.uops >= 64 &&
+			len(c.ckpts) < c.cfg.Checkpoints && c.storesInWindow >= 36 {
+			needNew = true
+		}
+		// CPR places extra checkpoints at low-confidence branches so a
+		// likely misprediction rolls back cheaply — but spends them
+		// sparingly, since exhausting the checkpoint budget caps the
+		// in-flight window.
+		if !needNew && d.u.Class == isa.Branch && ck.uops >= 32 && !d.brResolved &&
+			len(c.ckpts) < c.cfg.Checkpoints-1 {
+			ci := (d.u.PC >> 2) & uint64(len(c.conf)-1)
+			if c.conf[ci] < 2 {
+				needNew = true
+			}
+		}
+		if needNew {
+			if len(c.ckpts) == c.cfg.Checkpoints {
+				c.res.StallCkpt++
+				return
+			}
+			ck.closed = true
+			ck = c.newCheckpoint(d.u.Seq)
+		}
+
+		// Resource checks. A stall with no older checkpoint left to commit
+		// would deadlock (the stalled resource frees only after commit, and
+		// commit needs this checkpoint to close), so the checkpoint is
+		// closed at the stall point in that case.
+		if !c.schedAvail(d.u.Class) {
+			c.res.StallSched++
+			c.maybeCloseCkptOnStall()
+			return
+		}
+		if !c.regAvail(d) {
+			c.res.StallRegs++
+			c.maybeCloseCkptOnStall()
+			return
+		}
+		if d.isLoad() && c.loadsInWindow >= c.cfg.LQSize {
+			c.res.StallLQ++
+			c.maybeCloseCkptOnStall()
+			return
+		}
+		if d.isStore() && !c.allocStoreEntry(d, ck.id) {
+			if c.srlMode() {
+				c.counters.Inc("stq_stall_srlmode")
+			} else if c.outstandingMisses > 0 {
+				c.counters.Inc("stq_stall_missmode")
+			} else {
+				c.counters.Inc("stq_stall_quiet")
+			}
+			c.maybeCloseCkptOnStall()
+			return
+		}
+
+		// Commit the allocation.
+		if !replay {
+			c.win.push(d)
+			c.pendingFetch = nil
+		}
+		c.replayPos++
+		budget--
+		d.allocated = true
+		d.ckptID = ck.id
+		ck.pending++
+		ck.uops++
+
+		// Dependences from the rename state.
+		d.pendingSrc = 0
+		d.prod[0], d.prod[1] = nil, nil
+		for i, src := range [2]int8{d.u.Src1, d.u.Src2} {
+			if src == isa.NoReg {
+				continue
+			}
+			p := c.lastWriter[src]
+			if p == nil {
+				continue
+			}
+			d.prod[i] = p
+			if !p.done && !p.poisoned {
+				c.addWaiter(p, d)
+			}
+		}
+		if d.u.Dst != isa.NoReg {
+			c.lastWriter[d.u.Dst] = d
+			c.regTake(d)
+		}
+		c.schedTake(d.u.Class)
+		d.inSched = true
+
+		switch d.u.Class {
+		case isa.Store:
+			c.storesInWindow++
+		case isa.Load:
+			d.nearestStoreID = c.storeCounter - 1
+			d.fwdStoreID = lsq.NoFwd
+			c.order.LoadAllocated(d.u.Seq)
+			c.loadsInWindow++
+		case isa.Branch:
+			// Predict and train in program order at allocation (the
+			// front end sees branches in order; training at out-of-order
+			// resolution would scramble the global history). The
+			// mispredict penalty is still paid at resolution.
+			if !d.bpTrained {
+				d.predTaken = c.bp.Predict(d.u.PC)
+				c.bp.Update(d.u.PC, d.u.Taken)
+				ci := (d.u.PC >> 2) & uint64(len(c.conf)-1)
+				if d.predTaken == d.u.Taken {
+					if c.conf[ci] < 15 {
+						c.conf[ci]++
+					}
+				} else {
+					c.conf[ci] = 0
+				}
+				d.bpTrained = true
+			}
+			if d.brResolved {
+				d.predTaken = d.u.Taken
+			}
+		}
+
+		if d.pendingSrc == 0 {
+			pushReady(&c.ready, d)
+		}
+	}
+}
+
+// maybeCloseCkptOnStall closes the current checkpoint during a resource
+// stall so its completed work can bulk-commit and release the stalled
+// resource (CPR adapts checkpoint boundaries to resource pressure; without
+// this, a store queue sized below checkpoint-span x store-fraction would
+// stall even in miss-free execution).
+func (c *Core) maybeCloseCkptOnStall() {
+	ck := c.curCkpt()
+	if ck.uops == 0 || ck.closed {
+		return
+	}
+	// In miss-free execution commit is only waiting for the checkpoint to
+	// close, so adapt. During a long-latency miss the oldest checkpoint
+	// cannot commit anyway; closing here would only fragment the window
+	// (the baseline's store-queue-bound stall in a miss shadow is exactly
+	// the behaviour under study). The single-checkpoint case is a deadlock
+	// escape and always closes.
+	if c.outstandingMisses == 0 || len(c.ckpts) == 1 {
+		ck.closed = true
+	}
+}
+
+// allocStoreEntry assigns the store's identifier and allocates its store
+// queue entry per design. Returns false (and records the stall) when the
+// design's store buffering is exhausted — the effect Figure 2 measures.
+func (c *Core) allocStoreEntry(d *dynUop, ckptID int) bool {
+	if d.storeID == 0 {
+		d.storeID = c.storeCounter
+	}
+	c.storeCounter = d.storeID + 1
+
+	entry := lsq.StoreEntry{
+		Seq: d.u.Seq, PC: d.u.PC, Ckpt: ckptID, SRLIndex: d.storeID,
+	}
+	switch c.cfg.Design {
+	case DesignHierarchical:
+		if c.l1stq.Full() {
+			// Displace the L1 STQ head (the oldest store) into the L2 STQ.
+			if c.l2stq.Full() {
+				c.res.StallSTQ++
+				return false
+			}
+			he, _ := c.l1stq.PopHead()
+			slot, _ := c.l2stq.Alloc(he)
+			if he.AddrKnown {
+				c.mtb.Add(he.Addr)
+			}
+			if pos := c.win.indexOfSeq(he.Seq); pos >= 0 {
+				hd := c.win.at(pos)
+				hd.inL2STQ = true
+				hd.stqSlot = slot
+			}
+		}
+		slot, ok := c.l1stq.Alloc(entry)
+		if !ok {
+			c.res.StallSTQ++
+			return false
+		}
+		d.stqSlot = slot
+		d.inL2STQ = false
+	default:
+		slot, ok := c.l1stq.Alloc(entry)
+		if !ok {
+			c.res.StallSTQ++
+			return false
+		}
+		d.stqSlot = slot
+	}
+	c.unknownAddrStores++
+	return true
+}
+
+// noteStoreAddrKnown maintains the unknown-address store population (used
+// by the filtered design's search gate) when a store's address resolves or
+// its entry is squashed before resolving.
+func (c *Core) noteStoreAddrKnown() {
+	if c.unknownAddrStores > 0 {
+		c.unknownAddrStores--
+	}
+}
+
+func (c *Core) noteRecentLoad(addr uint64) {
+	c.recentLoads[c.rlPos] = addr
+	c.rlPos = (c.rlPos + 1) % len(c.recentLoads)
+}

@@ -1,0 +1,141 @@
+package lsq
+
+// HashKind selects the LCF index hash function (Section 6.4).
+type HashKind int
+
+const (
+	// HashLAB indexes with the lower address bits.
+	HashLAB HashKind = iota
+	// Hash3PAX indexes with the XOR of the lower, middle and upper address
+	// bit fields ("3-Piece Address XOR").
+	Hash3PAX
+)
+
+// String names the hash for reports.
+func (h HashKind) String() string {
+	if h == Hash3PAX {
+		return "3-PAX"
+	}
+	return "LAB"
+}
+
+// LCF is the Loose Check Filter (Section 4.3): a direct-mapped, non-tagged
+// array of 6-bit counters indexed by a hash of the memory address — a
+// counting Bloom filter over the SRL's contents. A zero counter proves no
+// store to the address is in the SRL, so a load may issue safely during the
+// redo phase. Each entry also stores the SRL index of the last matching
+// store inserted, enabling indexed forwarding without a CAM.
+type LCF struct {
+	count     []uint8
+	lastIndex []uint64
+	bits      uint // log2(entries)
+	hash      HashKind
+	maxCount  uint8
+
+	probes                 uint64
+	hitsNZ                 uint64 // probes finding a non-zero counter
+	overflows              uint64 // increments refused (counter saturated)
+	increments, decrements uint64
+}
+
+// NewLCF creates a loose check filter with entries counters (power of two)
+// using the given hash. counterBits is the counter width (the paper uses 6).
+func NewLCF(entries int, hash HashKind, counterBits uint) *LCF {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("lsq: LCF entries must be a positive power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < entries {
+		bits++
+	}
+	return &LCF{
+		count:     make([]uint8, entries),
+		lastIndex: make([]uint64, entries),
+		bits:      bits,
+		hash:      hash,
+		maxCount:  uint8(1<<counterBits - 1),
+	}
+}
+
+// Entries returns the number of counters.
+func (f *LCF) Entries() int { return len(f.count) }
+
+// Hash returns the configured hash kind.
+func (f *LCF) Hash() HashKind { return f.hash }
+
+// Probes, NonZeroHits and Overflows return activity counts.
+func (f *LCF) Probes() uint64      { return f.probes }
+func (f *LCF) NonZeroHits() uint64 { return f.hitsNZ }
+func (f *LCF) Overflows() uint64   { return f.overflows }
+
+func (f *LCF) idx(addr uint64) uint64 {
+	w := wordAddr(addr)
+	mask := uint64(1)<<f.bits - 1
+	switch f.hash {
+	case Hash3PAX:
+		return (w ^ (w >> f.bits) ^ (w >> (2 * f.bits))) & mask
+	default: // HashLAB
+		return w & mask
+	}
+}
+
+// Inc records a store entering the SRL, remembering its SRL index for
+// indexed forwarding. It returns false when the counter is saturated, in
+// which case the caller must stall SRL allocation (the paper's overflow
+// rule).
+func (f *LCF) Inc(addr uint64, srlIndex uint64) bool {
+	i := f.idx(addr)
+	if f.count[i] == f.maxCount {
+		f.overflows++
+		return false
+	}
+	f.count[i]++
+	f.lastIndex[i] = srlIndex
+	f.increments++
+	return true
+}
+
+// Dec records a store leaving the SRL (redo drain or squash).
+func (f *LCF) Dec(addr uint64) {
+	i := f.idx(addr)
+	if f.count[i] > 0 {
+		f.count[i]--
+	}
+	f.decrements++
+}
+
+// Probe checks whether a load at addr may have a matching store in the SRL.
+// A zero count guarantees it does not; a non-zero count also returns the
+// SRL index of the last matching store inserted, for indexed forwarding.
+func (f *LCF) Probe(addr uint64) (mayMatch bool, lastSRLIndex uint64) {
+	f.probes++
+	i := f.idx(addr)
+	if f.count[i] == 0 {
+		return false, 0
+	}
+	f.hitsNZ++
+	return true, f.lastIndex[i]
+}
+
+// Peek is Probe without activity accounting, for re-examining an
+// already-stalled load (the hardware holds the load in a wait buffer and
+// wakes it; it does not re-probe the filter every cycle).
+func (f *LCF) Peek(addr uint64) (mayMatch bool, lastSRLIndex uint64) {
+	i := f.idx(addr)
+	if f.count[i] == 0 {
+		return false, 0
+	}
+	return true, f.lastIndex[i]
+}
+
+// Reset clears every counter (full-window squash).
+func (f *LCF) Reset() {
+	for i := range f.count {
+		f.count[i] = 0
+		f.lastIndex[i] = 0
+	}
+}
+
+// SizeBytes returns the storage footprint: the paper's 2K-entry LCF stores
+// a 10-bit SRL index plus a 6-bit counter per entry = 2 bytes.
+func (f *LCF) SizeBytes() int { return len(f.count) * 2 }

@@ -1,0 +1,93 @@
+package lsq
+
+import "container/heap"
+
+// OrderTracker models the write-after-read bit array of Section 4.3: the
+// store at the SRL head may update the cache during redo only after all
+// loads before it in program order have executed. The hardware is a bit
+// array with head/tail pointers where loads set a bit at allocate and clear
+// it at completion; this model keeps the set of outstanding (allocated but
+// not completed) load sequence numbers with a min-heap, which answers the
+// same question: "have all loads older than seq executed?".
+//
+// A load may be allocated, squashed by a checkpoint restart, and allocated
+// again with the same sequence number; the tracker therefore deduplicates
+// heap entries and keeps the authoritative outstanding set separately.
+type OrderTracker struct {
+	h           seqHeap
+	inHeap      map[uint64]bool
+	outstanding map[uint64]bool
+}
+
+// NewOrderTracker returns an empty tracker.
+func NewOrderTracker() *OrderTracker {
+	return &OrderTracker{
+		inHeap:      make(map[uint64]bool),
+		outstanding: make(map[uint64]bool),
+	}
+}
+
+// LoadAllocated records a load entering the window (its bit is set).
+func (t *OrderTracker) LoadAllocated(seq uint64) {
+	t.outstanding[seq] = true
+	if !t.inHeap[seq] {
+		t.inHeap[seq] = true
+		heap.Push(&t.h, seq)
+	}
+}
+
+// LoadCompleted records a load finishing execution (its bit clears).
+func (t *OrderTracker) LoadCompleted(seq uint64) {
+	delete(t.outstanding, seq)
+	t.drain()
+}
+
+func (t *OrderTracker) drain() {
+	for t.h.Len() > 0 && !t.outstanding[t.h[0]] {
+		delete(t.inHeap, t.h[0])
+		heap.Pop(&t.h)
+	}
+}
+
+// AllLoadsOlderThanDone reports whether every load strictly older than seq
+// has completed — the SRL head store's drain condition (loads and stores
+// never share a sequence number, so the boundary case is moot in practice).
+func (t *OrderTracker) AllLoadsOlderThanDone(seq uint64) bool {
+	t.drain()
+	return t.h.Len() == 0 || t.h[0] >= seq
+}
+
+// Outstanding returns the number of loads allocated but not completed.
+func (t *OrderTracker) Outstanding() int { return len(t.outstanding) }
+
+// SquashYoungerThan discards outstanding loads younger than seq (checkpoint
+// restart): their bits are bulk-cleared so they never gate the SRL head.
+func (t *OrderTracker) SquashYoungerThan(seq uint64) {
+	for s := range t.outstanding {
+		if s > seq {
+			delete(t.outstanding, s)
+		}
+	}
+	t.drain()
+}
+
+// Reset clears the tracker (full squash).
+func (t *OrderTracker) Reset() {
+	t.h = t.h[:0]
+	t.inHeap = make(map[uint64]bool)
+	t.outstanding = make(map[uint64]bool)
+}
+
+type seqHeap []uint64
+
+func (h seqHeap) Len() int            { return len(h) }
+func (h seqHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *seqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

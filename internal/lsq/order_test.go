@@ -1,0 +1,115 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderTrackerBasics(t *testing.T) {
+	o := NewOrderTracker()
+	if !o.AllLoadsOlderThanDone(100) {
+		t.Fatal("empty tracker should pass")
+	}
+	o.LoadAllocated(10)
+	o.LoadAllocated(20)
+	if o.AllLoadsOlderThanDone(15) {
+		t.Fatal("outstanding load 10 should gate seq 15")
+	}
+	if !o.AllLoadsOlderThanDone(10) {
+		t.Fatal("load 10 itself is not older than seq 10")
+	}
+	o.LoadCompleted(10)
+	if !o.AllLoadsOlderThanDone(15) {
+		t.Fatal("completed load still gates")
+	}
+	if o.AllLoadsOlderThanDone(25) {
+		t.Fatal("load 20 still outstanding")
+	}
+}
+
+func TestOrderTrackerSquash(t *testing.T) {
+	o := NewOrderTracker()
+	o.LoadAllocated(10)
+	o.LoadAllocated(20)
+	o.SquashYoungerThan(15)
+	if o.AllLoadsOlderThanDone(25) {
+		t.Fatal("load 10 survived the squash and must gate")
+	}
+	o.LoadCompleted(10)
+	if !o.AllLoadsOlderThanDone(25) {
+		t.Fatal("squashed load 20 still gates")
+	}
+}
+
+func TestOrderTrackerReplayDuplicate(t *testing.T) {
+	// A load allocated, squashed, and allocated again (a checkpoint
+	// restart) must behave like a single outstanding load — the bug class
+	// that deadlocked the SRL drain.
+	o := NewOrderTracker()
+	o.LoadAllocated(10)
+	o.SquashYoungerThan(5) // squashes 10
+	o.LoadAllocated(10)    // replayed
+	if o.AllLoadsOlderThanDone(15) {
+		t.Fatal("replayed load not outstanding")
+	}
+	o.LoadCompleted(10)
+	if !o.AllLoadsOlderThanDone(15) {
+		t.Fatal("replayed load stuck after completion")
+	}
+	if o.Outstanding() != 0 {
+		t.Fatalf("outstanding %d", o.Outstanding())
+	}
+}
+
+func TestOrderTrackerReset(t *testing.T) {
+	o := NewOrderTracker()
+	o.LoadAllocated(10)
+	o.Reset()
+	if !o.AllLoadsOlderThanDone(100) || o.Outstanding() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// Property: the tracker's gate answer always equals the reference "min of
+// the outstanding set > seq" under random alloc/complete/squash traffic,
+// including replays of the same sequence numbers.
+func TestOrderTrackerMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		o := NewOrderTracker()
+		ref := map[uint64]bool{}
+		for _, op := range ops {
+			seq := uint64(op%64) + 1
+			switch (op / 64) % 3 {
+			case 0:
+				o.LoadAllocated(seq)
+				ref[seq] = true
+			case 1:
+				o.LoadCompleted(seq)
+				delete(ref, seq)
+			case 2:
+				o.SquashYoungerThan(seq)
+				for s := range ref {
+					if s > seq {
+						delete(ref, s)
+					}
+				}
+			}
+			// Compare on a probe point.
+			probe := uint64(op%97) + 1
+			want := true
+			for s := range ref {
+				if s < probe {
+					want = false
+					break
+				}
+			}
+			if o.AllLoadsOlderThanDone(probe) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,168 @@
+package lsq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func srlEntry(seq, idx uint64, ready bool) StoreEntry {
+	return StoreEntry{Seq: seq, Addr: seq * 0x40, Size: 8, AddrKnown: ready, DataReady: ready, SRLIndex: idx}
+}
+
+func TestSRLFIFOOrder(t *testing.T) {
+	s := NewSRL(8)
+	for i := uint64(0); i < 5; i++ {
+		idx, ok := s.Alloc(srlEntry(i+1, 10+i, true))
+		if !ok || idx != 10+i {
+			t.Fatalf("alloc %d: idx=%d ok=%v", i, idx, ok)
+		}
+	}
+	if s.HeadIndex() != 10 || s.Len() != 5 {
+		t.Fatalf("head=%d len=%d", s.HeadIndex(), s.Len())
+	}
+	for i := uint64(0); i < 5; i++ {
+		e, ok := s.PopHead()
+		if !ok || e.SRLIndex != 10+i {
+			t.Fatalf("pop %d: %v %v", i, e.SRLIndex, ok)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("not empty after draining")
+	}
+}
+
+func TestSRLBaseResetsWhenEmpty(t *testing.T) {
+	s := NewSRL(4)
+	s.Alloc(srlEntry(1, 5, true))
+	s.PopHead()
+	// After draining, the next occupancy run starts at a fresh identifier.
+	if _, ok := s.Alloc(srlEntry(9, 42, true)); !ok {
+		t.Fatal("alloc after drain failed")
+	}
+	if s.HeadIndex() != 42 {
+		t.Fatalf("base did not reset: %d", s.HeadIndex())
+	}
+}
+
+func TestSRLOutOfOrderAllocPanics(t *testing.T) {
+	s := NewSRL(4)
+	s.Alloc(srlEntry(1, 10, true))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("identifier gap did not panic")
+		}
+	}()
+	s.Alloc(srlEntry(2, 12, true)) // gap: 11 skipped
+}
+
+func TestSRLFull(t *testing.T) {
+	s := NewSRL(2)
+	s.Alloc(srlEntry(1, 0, true))
+	s.Alloc(srlEntry(2, 1, true))
+	if _, ok := s.Alloc(srlEntry(3, 2, true)); ok {
+		t.Fatal("alloc on full SRL succeeded")
+	}
+}
+
+func TestSRLFill(t *testing.T) {
+	s := NewSRL(4)
+	s.Alloc(srlEntry(1, 0, true))
+	e := srlEntry(2, 1, false) // reserved slot of a miss-dependent store
+	s.Alloc(e)
+	if s.Head().DataReady != true {
+		t.Fatal("independent head not ready")
+	}
+	if got := s.Get(1); got == nil || got.DataReady {
+		t.Fatal("reserved slot state wrong")
+	}
+	if !s.Fill(1, 0xBEEF, 8) {
+		t.Fatal("fill failed")
+	}
+	got := s.Get(1)
+	if !got.DataReady || got.Addr != 0xBEEF || !got.AddrKnown {
+		t.Fatalf("fill did not apply: %+v", got)
+	}
+	if s.Fill(99, 0, 8) {
+		t.Fatal("fill of a non-resident index succeeded")
+	}
+}
+
+func TestSRLGetBounds(t *testing.T) {
+	s := NewSRL(4)
+	s.Alloc(srlEntry(1, 7, true))
+	if s.Get(6) != nil || s.Get(8) != nil {
+		t.Fatal("out-of-range Get returned an entry")
+	}
+	if s.Get(7) == nil {
+		t.Fatal("resident index missed")
+	}
+}
+
+func TestSRLSquash(t *testing.T) {
+	s := NewSRL(8)
+	for i := uint64(0); i < 5; i++ {
+		s.Alloc(srlEntry(i+1, i, true))
+	}
+	removed := s.SquashYoungerThan(2)
+	if len(removed) != 3 {
+		t.Fatalf("removed %d", len(removed))
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d", s.Len())
+	}
+	// Identifier continuity resumes where the squash cut.
+	if _, ok := s.Alloc(srlEntry(3, 2, true)); !ok {
+		t.Fatal("post-squash realloc failed")
+	}
+}
+
+func TestSRLIndexedRead(t *testing.T) {
+	s := NewSRL(4)
+	s.Alloc(srlEntry(1, 0, true))
+	if e := s.IndexedRead(0); e == nil || e.Seq != 1 {
+		t.Fatal("indexed read failed")
+	}
+	if s.IndexedReads() != 1 {
+		t.Fatalf("indexed reads %d", s.IndexedReads())
+	}
+}
+
+// Property: after any valid sequence of allocs/pops/squashes, entries pop
+// in strictly ascending identifier order and Get(idx) agrees with the
+// entry's own identifier.
+func TestSRLOrderProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := NewSRL(32)
+		next := uint64(100)
+		var lastPopped uint64
+		seq := uint64(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // alloc
+				seq++
+				if !s.Full() {
+					s.Alloc(StoreEntry{Seq: seq, Addr: seq * 8, AddrKnown: true, DataReady: true, SRLIndex: next})
+					next++
+				}
+			case 2: // pop
+				if e, ok := s.PopHead(); ok {
+					if lastPopped != 0 && e.SRLIndex <= lastPopped {
+						return false
+					}
+					lastPopped = e.SRLIndex
+				}
+			case 3: // indexed get consistency
+				if s.Len() > 0 {
+					idx := s.HeadIndex() + uint64(int(op)%s.Len())
+					if e := s.Get(idx); e == nil || e.SRLIndex != idx {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

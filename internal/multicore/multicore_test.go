@@ -1,0 +1,135 @@
+package multicore
+
+import (
+	"testing"
+
+	"srlproc/internal/core"
+	"srlproc/internal/trace"
+)
+
+func smallCfg(d core.StoreDesign, cores int, shared float64) Config {
+	cfg := DefaultConfig(d, trace.SERVER)
+	cfg.Cores = cores
+	cfg.SharedHotFrac = shared
+	cfg.Core.WarmupUops = 3_000
+	cfg.Core.RunUops = 15_000
+	return cfg
+}
+
+func TestMulticoreRuns(t *testing.T) {
+	s, err := New(smallCfg(core.DesignSRL, 2, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerCore) != 2 {
+		t.Fatalf("%d per-core results", len(res.PerCore))
+	}
+	for i, c := range res.PerCore {
+		if c.Uops < 15_000 {
+			t.Fatalf("core %d committed %d", i, c.Uops)
+		}
+	}
+	if res.AggregateIPC() <= 0 {
+		t.Fatal("no aggregate throughput")
+	}
+}
+
+func TestSharingProducesCoherenceTraffic(t *testing.T) {
+	s, err := New(smallCfg(core.DesignSRL, 2, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SnoopsDelivered == 0 {
+		t.Fatal("no snoops delivered despite sharing")
+	}
+	if res.TotalSnoopViolations() == 0 {
+		t.Log("no consistency violations this run (loads never raced a remote store)")
+	}
+}
+
+func TestMoreSharingMoreViolations(t *testing.T) {
+	run := func(shared float64) *Results {
+		s, err := New(smallCfg(core.DesignSRL, 2, shared))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	none := run(0)
+	heavy := run(0.4)
+	if none.TotalSnoopViolations() != 0 {
+		t.Fatalf("violations without sharing: %d", none.TotalSnoopViolations())
+	}
+	if heavy.SnoopsDelivered <= none.SnoopsDelivered {
+		t.Fatalf("sharing produced no extra traffic: %d vs %d",
+			heavy.SnoopsDelivered, none.SnoopsDelivered)
+	}
+}
+
+func TestMulticoreConventionalDesign(t *testing.T) {
+	// The hierarchical design's fully associative load queue handles the
+	// same coherence traffic.
+	s, err := New(smallCfg(core.DesignHierarchical, 2, 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticoreDeterminism(t *testing.T) {
+	run := func() *Results {
+		s, err := New(smallCfg(core.DesignSRL, 2, 0.15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.SnoopsDelivered != b.SnoopsDelivered ||
+		a.TotalSnoopViolations() != b.TotalSnoopViolations() {
+		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			a.Cycles, a.SnoopsDelivered, a.TotalSnoopViolations(),
+			b.Cycles, b.SnoopsDelivered, b.TotalSnoopViolations())
+	}
+}
+
+func TestPrivateAddressSpacesDisjoint(t *testing.T) {
+	// With zero sharing, no snoop may ever hit a load buffer: address
+	// spaces are fully disjoint.
+	s, err := New(smallCfg(core.DesignSRL, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.TotalSnoopViolations(); v != 0 {
+		t.Fatalf("disjoint cores produced %d consistency violations", v)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := smallCfg(core.DesignSRL, 0, 0)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}

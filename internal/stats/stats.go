@@ -1,0 +1,213 @@
+// Package stats collects the counters, histograms and occupancy-time
+// distributions the simulator reports, and formats them into the tables and
+// figure series the paper's evaluation section uses.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a named set of monotonically increasing event counts.
+type Counters struct {
+	m     map[string]uint64
+	order []string
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{m: make(map[string]uint64)}
+}
+
+// Add increments counter name by delta.
+func (c *Counters) Add(name string, delta uint64) {
+	if _, ok := c.m[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of name (zero if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Names returns counter names in first-touch order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// String renders all counters, one per line, in first-touch order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, n := range c.order {
+		fmt.Fprintf(&b, "%-40s %d\n", n, c.m[n])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples.
+type Histogram struct {
+	// Bounds are inclusive upper bounds of each bucket except the last,
+	// which is open (> Bounds[len-2]).
+	bounds []uint64
+	counts []uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds; an implicit overflow bucket is appended.
+func NewHistogram(bounds []uint64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must ascend")
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) { h.ObserveN(v, 1) }
+
+// ObserveN records a sample with weight n (e.g. cycles spent at a value).
+func (h *Histogram) ObserveN(v, n uint64) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[idx] += n
+	h.total += n
+	h.sum += v * n
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the total observation weight.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the weighted mean of observations (zero if empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// FracAbove returns the fraction of observation weight with value strictly
+// greater than bound. Bound must be one of the construction bounds (or zero,
+// meaning "> 0" where bucket zero is assumed to be the v==0 bucket with
+// bounds[0]==0).
+func (h *Histogram) FracAbove(bound uint64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var above uint64
+	for i, b := range h.bounds {
+		if b > bound {
+			above += h.counts[i]
+		}
+	}
+	above += h.counts[len(h.counts)-1] // overflow bucket
+	return float64(above) / float64(h.total)
+}
+
+// Buckets returns (upper-bound, count) pairs; the final pair has bound
+// ^uint64(0) for the overflow bucket.
+func (h *Histogram) Buckets() []struct {
+	Bound uint64
+	Count uint64
+} {
+	out := make([]struct {
+		Bound uint64
+		Count uint64
+	}, len(h.counts))
+	for i := range h.bounds {
+		out[i].Bound = h.bounds[i]
+		out[i].Count = h.counts[i]
+	}
+	out[len(out)-1].Bound = ^uint64(0)
+	out[len(out)-1].Count = h.counts[len(h.counts)-1]
+	return out
+}
+
+// OccupancyTracker integrates the time (cycles) a structure spends at each
+// occupancy level, producing the "percent of occupied time with more than N
+// entries" distribution of the paper's Figure 7.
+type OccupancyTracker struct {
+	hist      *Histogram
+	lastLevel uint64
+	lastCycle uint64
+	started   bool
+}
+
+// NewOccupancyTracker creates a tracker with Figure-7 bucket bounds.
+func NewOccupancyTracker() *OccupancyTracker {
+	return &OccupancyTracker{
+		hist: NewHistogram([]uint64{0, 64, 128, 192, 256, 384, 512, 768, 1024}),
+	}
+}
+
+// Set records that the occupancy changed to level at the given cycle. Time
+// since the previous Set accrues to the previous level.
+func (o *OccupancyTracker) Set(cycle, level uint64) {
+	if o.started && cycle > o.lastCycle {
+		o.hist.ObserveN(o.lastLevel, cycle-o.lastCycle)
+	}
+	o.lastLevel = level
+	o.lastCycle = cycle
+	o.started = true
+}
+
+// Finish flushes time up to endCycle at the current level.
+func (o *OccupancyTracker) Finish(endCycle uint64) {
+	if o.started && endCycle > o.lastCycle {
+		o.hist.ObserveN(o.lastLevel, endCycle-o.lastCycle)
+		o.lastCycle = endCycle
+	}
+}
+
+// OccupiedCycles returns cycles spent with occupancy > 0.
+func (o *OccupancyTracker) OccupiedCycles() uint64 {
+	var occ uint64
+	bk := o.hist.Buckets()
+	for i, b := range bk {
+		if i == 0 && b.Bound == 0 {
+			continue // the v==0 bucket
+		}
+		occ += b.Count
+	}
+	return occ
+}
+
+// TotalCycles returns all cycles observed.
+func (o *OccupancyTracker) TotalCycles() uint64 { return o.hist.Total() }
+
+// FracOccupiedAbove returns, among occupied cycles, the fraction with more
+// than n entries. n must be one of Figure 7's thresholds
+// (0, 64, 128, 192, 256, 384, 512, 768, 1024).
+func (o *OccupancyTracker) FracOccupiedAbove(n uint64) float64 {
+	occ := o.OccupiedCycles()
+	if occ == 0 {
+		return 0
+	}
+	var above uint64
+	for _, b := range o.hist.Buckets() {
+		if b.Bound != ^uint64(0) && b.Bound <= n {
+			continue
+		}
+		above += b.Count
+	}
+	return float64(above) / float64(occ)
+}
+
+// Figure7Thresholds are the x-axis points of the paper's Figure 7.
+var Figure7Thresholds = []uint64{0, 64, 128, 192, 256, 384, 512, 768, 1024}

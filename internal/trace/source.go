@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"srlproc/internal/isa"
+)
+
+// Source supplies the simulator's dynamic micro-op stream in program order.
+// Generator implements it with synthetic workloads; Reader implements it
+// over recorded trace files, so real traces (converted to this format) can
+// drive the machine instead.
+type Source interface {
+	Next() isa.Uop
+}
+
+// Generator implements Source.
+var _ Source = (*Generator)(nil)
+
+// Trace file format: a fixed magic/version header followed by fixed-width
+// little-endian records. The format is deliberately dumb — one 44-byte
+// record per micro-op — so that converters from other simulators' trace
+// formats are trivial to write.
+const (
+	traceMagic   = uint32(0x53524C54) // "SRLT"
+	traceVersion = uint32(1)
+	recordBytes  = 44
+)
+
+// Writer serialises a micro-op stream to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+}
+
+// NewWriter writes a trace header to w and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], traceVersion)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one micro-op record.
+func (t *Writer) Write(u isa.Uop) error {
+	if t.err != nil {
+		return t.err
+	}
+	var rec [recordBytes]byte
+	binary.LittleEndian.PutUint64(rec[0:], u.Seq)
+	binary.LittleEndian.PutUint64(rec[8:], u.PC)
+	binary.LittleEndian.PutUint64(rec[16:], u.Addr)
+	binary.LittleEndian.PutUint64(rec[24:], u.MemSeq)
+	rec[32] = byte(u.Class)
+	rec[33] = byte(u.Src1)
+	rec[34] = byte(u.Src2)
+	rec[35] = byte(u.Dst)
+	rec[36] = u.Size
+	if u.Taken {
+		rec[37] = 1
+	}
+	// rec[38:44] reserved.
+	_, t.err = t.w.Write(rec[:])
+	if t.err == nil {
+		t.n++
+	}
+	return t.err
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Record captures n micro-ops from src into w (a convenience for building
+// trace files from the synthetic generators).
+func Record(w io.Writer, src Source, n uint64) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := tw.Write(src.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Reader replays a recorded trace as a Source. When the trace is exhausted
+// it loops from the beginning (re-numbering sequence numbers so they stay
+// dense and monotonic), because the simulator expects an unbounded stream;
+// looping requires the underlying reader to be an io.ReadSeeker.
+type Reader struct {
+	rs      io.ReadSeeker
+	br      *bufio.Reader
+	seqBase uint64
+	lastSeq uint64
+	seqSpan uint64 // sequence numbers consumed by one full pass
+	err     error
+}
+
+// NewReader validates the header and returns a replaying Source.
+func NewReader(rs io.ReadSeeker) (*Reader, error) {
+	r := &Reader{rs: rs}
+	if err := r.rewind(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Reader) rewind() error {
+	if _, err := r.rs.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r.br = bufio.NewReaderSize(r.rs, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != traceMagic {
+		return fmt.Errorf("trace: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != traceVersion {
+		return fmt.Errorf("trace: unsupported version %d", got)
+	}
+	return nil
+}
+
+// Err returns the first error encountered while replaying (io errors make
+// Next return harmless no-op micro-ops rather than panicking mid-run).
+func (r *Reader) Err() error { return r.err }
+
+// Next implements Source.
+func (r *Reader) Next() isa.Uop {
+	if r.err != nil {
+		r.lastSeq++
+		return isa.Uop{Seq: r.lastSeq, Class: isa.IntALU, Src1: isa.NoReg, Src2: isa.NoReg, Dst: 0}
+	}
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(r.br, rec[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Loop: replay from the start with shifted sequence numbers.
+			r.seqBase = r.lastSeq
+			r.seqSpan = 0
+			if err := r.rewind(); err != nil {
+				r.err = err
+				return r.Next()
+			}
+			return r.Next()
+		}
+		r.err = err
+		return r.Next()
+	}
+	u := isa.Uop{
+		Seq:    binary.LittleEndian.Uint64(rec[0:]) + r.seqBase,
+		PC:     binary.LittleEndian.Uint64(rec[8:]),
+		Addr:   binary.LittleEndian.Uint64(rec[16:]),
+		MemSeq: binary.LittleEndian.Uint64(rec[24:]),
+		Class:  isa.Class(rec[32]),
+		Src1:   int8(rec[33]),
+		Src2:   int8(rec[34]),
+		Dst:    int8(rec[35]),
+		Size:   rec[36],
+		Taken:  rec[37] != 0,
+	}
+	if u.MemSeq != 0 {
+		u.MemSeq += r.seqBase
+	}
+	r.lastSeq = u.Seq
+	r.seqSpan++
+	return u
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"srlproc/internal/isa"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(ProfileFor(SINT2K), 5)
+	var buf bytes.Buffer
+	if err := Record(&buf, g, 2000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying must reproduce the identical stream.
+	g2 := NewGenerator(ProfileFor(SINT2K), 5)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		want := g2.Next()
+		got := r.Next()
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTraceLoopsWithDenseSeqs(t *testing.T) {
+	g := NewGenerator(ProfileFor(PROD), 3)
+	var buf bytes.Buffer
+	if err := Record(&buf, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 350; i++ { // 3.5 passes
+		u := r.Next()
+		if u.Seq != last+1 {
+			t.Fatalf("seq %d after %d at record %d", u.Seq, last, i)
+		}
+		last = u.Seq
+		// MemSeq must stay behind the load that references it across
+		// loop boundaries.
+		if u.MemSeq != 0 && u.MemSeq >= u.Seq {
+			t.Fatalf("record %d: MemSeq %d >= Seq %d", i, u.MemSeq, u.Seq)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestTraceBadHeaderRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(isa.Uop{Seq: 1, Class: isa.IntALU})
+	w.Flush()
+	b := buf.Bytes()
+	b[4] = 99 // corrupt version
+	if _, err := NewReader(bytes.NewReader(b)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestTraceTruncatedRecordLoops(t *testing.T) {
+	g := NewGenerator(ProfileFor(WS), 7)
+	var buf bytes.Buffer
+	if err := Record(&buf, g, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-record: the reader treats it as end-of-trace and loops.
+	b := buf.Bytes()[:buf.Len()-13]
+	r, err := NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 30; i++ {
+		u := r.Next()
+		if u.Seq != last+1 {
+			t.Fatalf("seq gap after truncation: %d -> %d", last, u.Seq)
+		}
+		last = u.Seq
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := w.Write(isa.Uop{Seq: uint64(i + 1), Class: isa.IntALU}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 7 {
+		t.Fatalf("count %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8+7*recordBytes {
+		t.Fatalf("file size %d", buf.Len())
+	}
+}
+
+// failingWriter errors after n bytes, to exercise writer error latching.
+type failingWriter struct{ left int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, io.ErrClosedPipe
+	}
+	return n, nil
+}
+
+func TestWriterLatchesErrors(t *testing.T) {
+	w, err := NewWriter(&failingWriter{left: 8 + recordBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the buffer far enough to force a flush failure eventually.
+	var firstErr error
+	for i := 0; i < 10_000; i++ {
+		if err := w.Write(isa.Uop{Seq: uint64(i + 1)}); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		firstErr = w.Flush()
+	}
+	if firstErr == nil {
+		t.Fatal("no error surfaced from failing writer")
+	}
+}

@@ -1,0 +1,175 @@
+// Package srlproc is a Go reproduction of "Scalable Load and Store
+// Processing in Latency Tolerant Processors" (Gandhi, Akkary, Rajwar,
+// Srinivasan, Lai — ISCA 2005).
+//
+// It provides a cycle-level timing simulator of a Continual Flow Pipeline
+// (CFP) processor built on Checkpoint Processing and Recovery (CPR), with
+// four interchangeable store-processing organisations:
+//
+//   - the 48-entry-store-queue baseline,
+//   - large single-level store queues (the "ideal" configuration at 1K),
+//   - the hierarchical two-level store queue with a Membership Test Buffer,
+//   - the paper's proposal: the Store Redo Log (SRL) with a Loose Check
+//     Filter, a Forwarding Cache, indexed forwarding and a set-associative
+//     secondary load buffer.
+//
+// The package also bundles synthetic workload generators standing in for
+// the paper's seven benchmark suites, a calibrated analytical CAM/SRAM
+// power & area model replacing the paper's SPICE runs, and experiment
+// runners that regenerate every table and figure of the evaluation section.
+//
+// Quick start:
+//
+//	cfg := srlproc.DefaultConfig(srlproc.DesignSRL)
+//	res, err := srlproc.Run(cfg, srlproc.SINT2K)
+//	if err != nil { ... }
+//	fmt.Printf("IPC %.2f\n", res.IPC())
+//
+// To regenerate the paper's figures use the functions mirroring
+// internal/bench (RunFigure2, RunFigure6, RunTable3, ...), or the
+// cmd/experiments binary.
+package srlproc
+
+import (
+	"io"
+
+	"srlproc/internal/bench"
+	"srlproc/internal/core"
+	"srlproc/internal/lsq"
+	"srlproc/internal/multicore"
+	"srlproc/internal/trace"
+)
+
+// StoreDesign selects the store-processing organisation.
+type StoreDesign = core.StoreDesign
+
+// Store-processing designs.
+const (
+	DesignBaseline     = core.DesignBaseline
+	DesignLargeSTQ     = core.DesignLargeSTQ
+	DesignHierarchical = core.DesignHierarchical
+	DesignSRL          = core.DesignSRL
+	DesignFilteredSTQ  = core.DesignFilteredSTQ
+)
+
+// Config parameterises a simulation (see core.DefaultConfig for Table 1).
+type Config = core.Config
+
+// Results is a simulation run's output.
+type Results = core.Results
+
+// Suite identifies a benchmark suite (Table 2).
+type Suite = trace.Suite
+
+// The seven benchmark suites of Table 2.
+const (
+	SFP2K  = trace.SFP2K
+	SINT2K = trace.SINT2K
+	WEB    = trace.WEB
+	MM     = trace.MM
+	PROD   = trace.PROD
+	SERVER = trace.SERVER
+	WS     = trace.WS
+)
+
+// LCF hash functions (Section 6.4).
+const (
+	HashLAB  = lsq.HashLAB
+	Hash3PAX = lsq.Hash3PAX
+)
+
+// AllSuites lists every suite in the paper's presentation order.
+func AllSuites() []Suite { return trace.AllSuites() }
+
+// DefaultConfig returns the Table 1 machine with the given store design.
+func DefaultConfig(d StoreDesign) Config { return core.DefaultConfig(d) }
+
+// Run simulates cfg on the given workload suite and returns the measured
+// results.
+func Run(cfg Config, suite Suite) (*Results, error) {
+	c, err := core.New(cfg, suite)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(), nil
+}
+
+// TraceSource supplies micro-ops to the simulator; synthetic generators and
+// recorded trace files both implement it.
+type TraceSource = trace.Source
+
+// NewSyntheticSource returns the suite's synthetic workload generator as a
+// TraceSource (useful for recording trace files).
+func NewSyntheticSource(suite Suite, seed uint64) TraceSource {
+	return trace.NewGenerator(trace.ProfileFor(suite), seed)
+}
+
+// RecordTrace captures n micro-ops from src into w using the repository's
+// simple fixed-record trace format; NewTraceReader replays such files.
+func RecordTrace(w io.Writer, src TraceSource, n uint64) error {
+	return trace.Record(w, src, n)
+}
+
+// NewTraceReader opens a recorded trace for replay. The reader loops the
+// trace to provide the unbounded stream the simulator expects.
+func NewTraceReader(rs io.ReadSeeker) (TraceSource, error) {
+	return trace.NewReader(rs)
+}
+
+// RunFromSource simulates cfg over an arbitrary micro-op source (e.g. a
+// recorded trace). The suite only labels results and sets the ambient
+// external-snoop rate.
+func RunFromSource(cfg Config, src TraceSource, suite Suite) (*Results, error) {
+	c, err := core.NewFromSource(cfg, src, trace.ProfileFor(suite))
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(), nil
+}
+
+// MulticoreConfig parameterises a lockstep multiprocessor simulation with
+// real coherence traffic between cores (see internal/multicore).
+type MulticoreConfig = multicore.Config
+
+// MulticoreResults aggregates a multicore run.
+type MulticoreResults = multicore.Results
+
+// DefaultMulticoreConfig returns a 4-core system running the given store
+// design and workload suite with moderate sharing.
+func DefaultMulticoreConfig(d StoreDesign, suite Suite) MulticoreConfig {
+	return multicore.DefaultConfig(d, suite)
+}
+
+// NewMulticore builds a lockstep multicore system.
+func NewMulticore(cfg MulticoreConfig) (*multicore.System, error) {
+	return multicore.New(cfg)
+}
+
+// Options scales the experiment runners.
+type Options = bench.Options
+
+// DefaultOptions sizes experiments for a full reproduction run;
+// QuickOptions for fast sanity passes.
+func DefaultOptions() Options { return bench.DefaultOptions() }
+
+// QuickOptions returns reduced-scale options.
+func QuickOptions() Options { return bench.QuickOptions() }
+
+// Experiment runners — one per table/figure of the paper's evaluation.
+var (
+	RunFigure2  = bench.RunFigure2
+	RunFigure6  = bench.RunFigure6
+	RunTable3   = bench.RunTable3
+	RunFigure7  = bench.RunFigure7
+	RunFigure8  = bench.RunFigure8
+	RunFigure9  = bench.RunFigure9
+	RunFigure10 = bench.RunFigure10
+)
+
+// RenderTable1 and RenderTable2 echo the configuration tables; RunPowerArea
+// reproduces the Section 6.2 power/area comparison.
+var (
+	RenderTable1 = bench.RenderTable1
+	RenderTable2 = bench.RenderTable2
+	RunPowerArea = bench.RunPowerArea
+)

@@ -1,0 +1,89 @@
+package srlproc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip drives the library exactly as the README shows.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 2_000
+	cfg.RunUops = 15_000
+	res, err := Run(cfg, SINT2K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC() <= 0 {
+		t.Fatal("non-positive IPC")
+	}
+	if res.Suite != SINT2K || res.Design != DesignSRL {
+		t.Fatal("result identity wrong")
+	}
+}
+
+func TestAllSuitesExported(t *testing.T) {
+	if len(AllSuites()) != 7 {
+		t.Fatalf("%d suites exported", len(AllSuites()))
+	}
+}
+
+func TestAllDesignsRunnable(t *testing.T) {
+	for _, d := range []StoreDesign{DesignBaseline, DesignLargeSTQ, DesignHierarchical, DesignSRL} {
+		cfg := DefaultConfig(d)
+		cfg.WarmupUops = 1_000
+		cfg.RunUops = 8_000
+		if _, err := Run(cfg, PROD); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.RunUops = 0
+	if _, err := Run(cfg, WS); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	if !strings.Contains(RenderTable1(), "checkpoints") &&
+		!strings.Contains(RenderTable1(), "checkpoint") &&
+		!strings.Contains(RenderTable1(), "Map table") {
+		t.Fatal("Table 1 incomplete")
+	}
+	if !strings.Contains(RenderTable2(), "SERVER") {
+		t.Fatal("Table 2 incomplete")
+	}
+	if !strings.Contains(RunPowerArea(), "reduction") {
+		t.Fatal("power report incomplete")
+	}
+}
+
+func TestExperimentRunnersWired(t *testing.T) {
+	o := QuickOptions()
+	o.WarmupUops, o.RunUops = 1_000, 6_000
+	fig, err := RunFigure10(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("figure 10 has %d series", len(fig.Series))
+	}
+}
+
+// ExampleRun demonstrates the minimal simulation flow (also serves as the
+// godoc example for the package entry point).
+func ExampleRun() {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 1_000
+	cfg.RunUops = 5_000
+	res, err := Run(cfg, PROD)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Design, "on", res.Suite, "committed", res.Uops >= 5_000)
+	// Output: SRL on PROD committed true
+}
