@@ -1,0 +1,18 @@
+# Development targets. `tier1` is the repo's canonical pass/fail gate;
+# `verify` adds vet and the race detector, which matters now that the
+# sweep engine's worker pool is the default execution path for every
+# experiment. Run both before merging.
+
+.PHONY: tier1 verify bench
+
+tier1:
+	go build ./... && go test ./...
+
+verify:
+	go vet ./...
+	go test -race ./...
+
+# The sweep-engine comparison: serial vs pooled vs pooled+memoized on the
+# Figure 6 matrix at QuickOptions scale.
+bench:
+	go test -run '^$$' -bench BenchmarkSweepMatrix -benchtime 1x .

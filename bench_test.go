@@ -10,9 +10,11 @@
 package srlproc
 
 import (
+	"context"
 	"testing"
 
 	"srlproc/internal/bench"
+	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
 
@@ -154,6 +156,47 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Uops), "uops/op")
+	}
+}
+
+// BenchmarkSweepMatrix contrasts the sweep engine's execution modes on the
+// Figure 6 matrix at QuickOptions scale: fully serial, the bounded worker
+// pool, and the pool plus the memoization cache (pre-primed, so iterations
+// measure pure cache-hit aggregation). The pooled/serial ratio is the
+// worker-pool speedup; pooled+memo shows what recurring configurations
+// cost once the process cache is warm.
+func BenchmarkSweepMatrix(b *testing.B) {
+	modes := []struct {
+		name string
+		mod  func(*bench.Options)
+	}{
+		{"serial", func(o *bench.Options) { o.Workers = 1; o.NoCache = true }},
+		{"pooled", func(o *bench.Options) { o.Workers = 0; o.NoCache = true }},
+		{"pooled+memo", func(o *bench.Options) { o.Workers = 0; o.NoCache = false }},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			o := bench.QuickOptions()
+			o.Seed = 77 // keep these points disjoint from other tests' cache entries
+			m.mod(&o)
+			if !o.NoCache {
+				// Prime the cache so the memoized mode measures warm hits.
+				if _, err := bench.RunFigure6Context(context.Background(), o); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				fig, err := bench.RunFigure6Context(context.Background(), o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fig.Series) != 3 {
+					b.Fatal("unexpected figure shape")
+				}
+			}
+			b.ReportMetric(float64(sweep.Global().Hits()), "cache-hits")
+		})
 	}
 }
 

@@ -1,12 +1,24 @@
 // Command experiments regenerates every table and figure in the paper's
 // evaluation section and prints them in order.
+//
+// Simulation points run on the bounded worker pool of internal/sweep:
+// -workers sizes the pool, -timeout bounds the whole run, -progress prints
+// live per-point progress, and -nocache disables the cross-experiment
+// result memoization that otherwise simulates recurring configurations
+// (the baseline, the SRL) only once. Ctrl-C cancels gracefully: in-flight
+// points abort and the process exits instead of leaking goroutines.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"srlproc/internal/bench"
 	"srlproc/internal/trace"
@@ -17,8 +29,20 @@ func main() {
 	uops := flag.Uint64("uops", 0, "override measured micro-ops per point")
 	warm := flag.Uint64("warmup", 0, "override warmup micro-ops per point")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	only := flag.String("only", "", "run only one experiment: table1,table2,fig2,fig6,table3,fig7,fig8,fig9,fig10,energy,power")
+	only := flag.String("only", "", "run only one experiment: table1,table2,fig2,fig6,table3,fig7,fig8,fig9,fig10,energy,latency,power")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 10m); 0 = no limit")
+	progress := flag.Bool("progress", false, "print live sweep progress to stderr")
+	nocache := flag.Bool("nocache", false, "disable cross-experiment result memoization")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	o := bench.DefaultOptions()
 	if *quick {
@@ -31,6 +55,11 @@ func main() {
 		o.WarmupUops = *warm
 	}
 	o.Seed = *seed
+	o.Workers = *workers
+	o.NoCache = *nocache
+	if *progress {
+		o.Progress = progressPrinter()
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 
@@ -40,27 +69,53 @@ func main() {
 	if want("table2") {
 		fmt.Println(bench.RenderTable2())
 	}
-	run := func(name string, f func(bench.Options) (fmt.Stringer, error)) {
+	run := func(name string, f func(context.Context, bench.Options) (fmt.Stringer, error)) {
 		if !want(name) {
 			return
 		}
-		r, err := f(o)
+		r, err := f(ctx, o)
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Printf("%s: interrupted: %v", name, ctx.Err())
+				os.Exit(130)
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Printf("%s: timed out: %v", name, err)
+				os.Exit(1)
+			}
 			log.Printf("%s: %v", name, err)
 			os.Exit(1)
 		}
 		fmt.Println(r.String())
 	}
-	run("fig2", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure2(o) })
-	run("fig6", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure6(o) })
-	run("table3", func(o bench.Options) (fmt.Stringer, error) { return bench.RunTable3(o) })
-	run("fig7", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure7(o) })
-	run("fig8", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure8(o) })
-	run("fig9", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure9(o) })
-	run("fig10", func(o bench.Options) (fmt.Stringer, error) { return bench.RunFigure10(o) })
-	run("energy", func(o bench.Options) (fmt.Stringer, error) { return bench.RunEnergy(o) })
-	run("latency", func(o bench.Options) (fmt.Stringer, error) { return bench.RunLatencySweep(o, trace.SFP2K) })
+	run("fig2", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure2Context(ctx, o) })
+	run("fig6", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure6Context(ctx, o) })
+	run("table3", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunTable3Context(ctx, o) })
+	run("fig7", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure7Context(ctx, o) })
+	run("fig8", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure8Context(ctx, o) })
+	run("fig9", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure9Context(ctx, o) })
+	run("fig10", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure10Context(ctx, o) })
+	run("energy", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunEnergyContext(ctx, o) })
+	run("latency", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
+	})
 	if want("power") {
 		fmt.Println(bench.RunPowerArea())
+	}
+}
+
+// progressPrinter renders an in-place progress line on stderr.
+func progressPrinter() bench.ProgressFunc {
+	return func(p bench.Progress) {
+		eta := "--"
+		if p.ETA > 0 {
+			eta = p.ETA.Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "\r%3d/%d points  %d cached  %d failed  elapsed %s  eta %s   [%s]      ",
+			p.Done, p.Total, p.CacheHits, p.Failed,
+			p.Elapsed.Round(time.Second), eta, p.Last)
 	}
 }

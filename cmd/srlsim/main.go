@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"srlproc"
 )
@@ -28,12 +32,22 @@ func main() {
 	uops := flag.Uint64("uops", 250_000, "measured micro-ops")
 	warm := flag.Uint64("warmup", 50_000, "warmup micro-ops")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this long (e.g. 2m); 0 = no limit")
 	noLCF := flag.Bool("no-lcf", false, "disable the loose check filter (srl)")
 	noIF := flag.Bool("no-indexed-fwd", false, "disable indexed forwarding (srl)")
 	noFC := flag.Bool("no-fc", false, "use the data cache for temporary updates instead of the FC (srl)")
 	verbose := flag.Bool("v", false, "print extra counters")
 	asJSON := flag.Bool("json", false, "emit results as JSON")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the run instead of killing it mid-print.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var d srlproc.StoreDesign
 	switch strings.ToLower(*design) {
@@ -85,8 +99,15 @@ func main() {
 		cfg.UseFC = false
 	}
 
-	res, err := srlproc.Run(cfg, su)
+	res, err := srlproc.RunContext(ctx, cfg, su)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted: %v", err)
+			os.Exit(130)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("timed out after %v: %v", *timeout, err)
+		}
 		log.Fatal(err)
 	}
 	if *asJSON {

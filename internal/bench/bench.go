@@ -1,27 +1,62 @@
 // Package bench defines and runs the paper's experiments: every table and
 // figure of the evaluation section maps to one Run* function returning the
 // same rows/series the paper reports, plus formatting helpers.
+//
+// Every experiment has a context-accepting form (RunFigure2Context, ...)
+// that supports cancellation and deadlines; the plain forms run with
+// context.Background(). All simulation points execute on the
+// internal/sweep engine: a bounded worker pool with panic isolation,
+// progress reporting and process-wide result memoization, tuned through
+// Options.
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"srlproc/internal/core"
 	"srlproc/internal/lsq"
 	"srlproc/internal/power"
 	"srlproc/internal/stats"
+	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
 
-// Options control experiment scale (simulated micro-ops per point).
+// Progress is one sweep progress snapshot; see sweep.Progress.
+type Progress = sweep.Progress
+
+// ProgressFunc observes experiment progress; see sweep.ProgressFunc.
+type ProgressFunc = sweep.ProgressFunc
+
+// Options control experiment scale (simulated micro-ops per point) and how
+// the sweep engine runs the points.
 type Options struct {
 	WarmupUops uint64
 	RunUops    uint64
 	Seed       uint64
-	Parallel   bool // run points on multiple goroutines
+
+	// Parallel is the pre-worker-pool concurrency switch.
+	//
+	// Deprecated: set Workers instead. Parallel is only consulted when
+	// Workers is 0: Parallel=true maps to a GOMAXPROCS-sized pool,
+	// Parallel=false to a serial run.
+	Parallel bool
+
+	// Workers bounds the simulation worker pool: n > 1 runs at most n
+	// points concurrently, 1 runs serially, and 0 defers to the
+	// deprecated Parallel switch (DefaultOptions and QuickOptions set
+	// Parallel, so 0 means a GOMAXPROCS-sized pool for them). Negative
+	// values mean GOMAXPROCS.
+	Workers int
+
+	// Progress, when non-nil, is called after every completed point.
+	Progress ProgressFunc
+
+	// NoCache disables cross-experiment result memoization, forcing
+	// every point to simulate fresh.
+	NoCache bool
 }
 
 // DefaultOptions is sized for minutes-scale full reproduction runs.
@@ -41,70 +76,51 @@ func (o Options) apply(cfg core.Config) core.Config {
 	return cfg
 }
 
-// runPoint simulates one (config, suite) point.
-func runPoint(cfg core.Config, suite trace.Suite) (*core.Results, error) {
-	c, err := core.New(cfg, suite)
+// workers maps the (Workers, deprecated Parallel) pair to the sweep
+// engine's pool-size convention.
+func (o Options) workers() int {
+	if o.Workers != 0 {
+		return o.Workers
+	}
+	if o.Parallel {
+		return 0 // sweep: GOMAXPROCS
+	}
+	return 1
+}
+
+func (o Options) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: o.workers(), Progress: o.Progress, NoCache: o.NoCache}
+}
+
+// runMatrix runs one configuration per label across all suites on the
+// sweep engine, returning results[label][suite]. Point errors — including
+// cancellation — are collected with errors.Join, not truncated to the
+// first failure.
+func runMatrix(ctx context.Context, o Options, cfgs map[string]core.Config) (map[string]map[trace.Suite]*core.Results, error) {
+	labels := make([]string, 0, len(cfgs))
+	for label := range cfgs {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	var points []sweep.Point
+	for _, label := range labels {
+		for _, s := range trace.AllSuites() {
+			points = append(points, sweep.Point{Label: label, Cfg: cfgs[label], Suite: s})
+		}
+	}
+	rep, err := sweep.Run(ctx, points, o.sweepOptions())
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(), nil
-}
-
-// runMatrix runs one configuration per label across all suites, optionally
-// in parallel, returning results[label][suite].
-func runMatrix(o Options, cfgs map[string]core.Config) (map[string]map[trace.Suite]*core.Results, error) {
-	type job struct {
-		label string
-		suite trace.Suite
-	}
-	var jobs []job
-	for label := range cfgs {
-		for _, s := range trace.AllSuites() {
-			jobs = append(jobs, job{label, s})
-		}
-	}
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].label != jobs[j].label {
-			return jobs[i].label < jobs[j].label
-		}
-		return jobs[i].suite < jobs[j].suite
-	})
-
-	out := make(map[string]map[trace.Suite]*core.Results)
+	out := make(map[string]map[trace.Suite]*core.Results, len(cfgs))
 	for label := range cfgs {
 		out[label] = make(map[trace.Suite]*core.Results)
 	}
-	var mu sync.Mutex
-	var firstErr error
-	run := func(j job) {
-		res, err := runPoint(cfgs[j.label], j.suite)
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
-			return
-		}
-		out[j.label][j.suite] = res
+	for i := range rep.Points {
+		pr := &rep.Points[i]
+		out[pr.Point.Label][pr.Point.Suite] = pr.Results
 	}
-	if o.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, 8)
-		for _, j := range jobs {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(j job) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				run(j)
-			}(j)
-		}
-		wg.Wait()
-	} else {
-		for _, j := range jobs {
-			run(j)
-		}
-	}
-	return out, firstErr
+	return out, nil
 }
 
 // SpeedupSeries is one figure series: percent speedup over baseline per
@@ -141,7 +157,7 @@ func (f *FigureResult) String() string {
 
 // speedupFigure computes percent speedups of each labelled config over the
 // baseline config, per suite.
-func speedupFigure(o Options, title string, baseline core.Config, labeled []struct {
+func speedupFigure(ctx context.Context, o Options, title string, baseline core.Config, labeled []struct {
 	Label string
 	Cfg   core.Config
 }) (*FigureResult, error) {
@@ -149,7 +165,7 @@ func speedupFigure(o Options, title string, baseline core.Config, labeled []stru
 	for _, lc := range labeled {
 		cfgs[lc.Label] = o.apply(lc.Cfg)
 	}
-	raw, err := runMatrix(o, cfgs)
+	raw, err := runMatrix(ctx, o, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -169,9 +185,15 @@ func speedupFigure(o Options, title string, baseline core.Config, labeled []stru
 // Figure2Sizes are the paper's swept store queue sizes.
 var Figure2Sizes = []int{128, 256, 512, 1024}
 
-// RunFigure2 reproduces Figure 2: percent speedup of single-level store
-// queues of 128..1K entries over the 48-entry baseline, per suite.
+// RunFigure2 reproduces Figure 2 with context.Background(); see
+// RunFigure2Context.
 func RunFigure2(o Options) (*FigureResult, error) {
+	return RunFigure2Context(context.Background(), o)
+}
+
+// RunFigure2Context reproduces Figure 2: percent speedup of single-level
+// store queues of 128..1K entries over the 48-entry baseline, per suite.
+func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	var labeled []struct {
 		Label string
@@ -189,20 +211,27 @@ func RunFigure2(o Options) (*FigureResult, error) {
 			Cfg   core.Config
 		}{label, cfg})
 	}
-	return speedupFigure(o, "Figure 2: impact of store queue size (percent speedup over 48-entry STQ)", base, labeled)
+	return speedupFigure(ctx, o, "Figure 2: impact of store queue size (percent speedup over 48-entry STQ)", base, labeled)
 }
 
 // --- Figure 6: SRL vs hierarchical vs ideal ---
 
-// RunFigure6 reproduces Figure 6: SRL vs the hierarchical store queue vs an
-// ideal (1K-entry, fast) store queue, as percent speedup over the baseline.
+// RunFigure6 reproduces Figure 6 with context.Background(); see
+// RunFigure6Context.
 func RunFigure6(o Options) (*FigureResult, error) {
+	return RunFigure6Context(context.Background(), o)
+}
+
+// RunFigure6Context reproduces Figure 6: SRL vs the hierarchical store
+// queue vs an ideal (1K-entry, fast) store queue, as percent speedup over
+// the baseline.
+func RunFigure6Context(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	srl := core.DefaultConfig(core.DesignSRL)
 	hier := core.DefaultConfig(core.DesignHierarchical)
 	ideal := core.DefaultConfig(core.DesignLargeSTQ)
 	ideal.STQSize = 1024
-	return speedupFigure(o, "Figure 6: SRL performance comparison (percent speedup over baseline)", base,
+	return speedupFigure(ctx, o, "Figure 6: SRL performance comparison (percent speedup over baseline)", base,
 		[]struct {
 			Label string
 			Cfg   core.Config
@@ -242,10 +271,16 @@ func (t *Table3Result) String() string {
 	return tb.String()
 }
 
-// RunTable3 reproduces Table 3 on the SRL configuration.
+// RunTable3 reproduces Table 3 with context.Background(); see
+// RunTable3Context.
 func RunTable3(o Options) (*Table3Result, error) {
+	return RunTable3Context(context.Background(), o)
+}
+
+// RunTable3Context reproduces Table 3 on the SRL configuration.
+func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
-	raw, err := runMatrix(o, cfgs)
+	raw, err := runMatrix(ctx, o, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -290,11 +325,17 @@ func (f *Figure7Result) String() string {
 	return t.String()
 }
 
-// RunFigure7 reproduces Figure 7 from the SRL configuration's occupancy
-// tracker.
+// RunFigure7 reproduces Figure 7 with context.Background(); see
+// RunFigure7Context.
 func RunFigure7(o Options) (*Figure7Result, error) {
+	return RunFigure7Context(context.Background(), o)
+}
+
+// RunFigure7Context reproduces Figure 7 from the SRL configuration's
+// occupancy tracker.
+func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
-	raw, err := runMatrix(o, cfgs)
+	raw, err := runMatrix(ctx, o, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -312,9 +353,16 @@ func RunFigure7(o Options) (*Figure7Result, error) {
 
 // --- Figure 8: LCF and indexed forwarding ablation ---
 
-// RunFigure8 reproduces Figure 8: SRL, SRL without indexed forwarding, and
-// SRL without the LCF and indexed forwarding, over the baseline.
+// RunFigure8 reproduces Figure 8 with context.Background(); see
+// RunFigure8Context.
 func RunFigure8(o Options) (*FigureResult, error) {
+	return RunFigure8Context(context.Background(), o)
+}
+
+// RunFigure8Context reproduces Figure 8: SRL, SRL without indexed
+// forwarding, and SRL without the LCF and indexed forwarding, over the
+// baseline.
+func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	full := core.DefaultConfig(core.DesignSRL)
 	noIF := core.DefaultConfig(core.DesignSRL)
@@ -322,7 +370,7 @@ func RunFigure8(o Options) (*FigureResult, error) {
 	noLCF := core.DefaultConfig(core.DesignSRL)
 	noLCF.UseIndexedFwd = false
 	noLCF.UseLCF = false
-	return speedupFigure(o, "Figure 8: impact of LCF and indexed forwarding (percent speedup over baseline)", base,
+	return speedupFigure(ctx, o, "Figure 8: impact of LCF and indexed forwarding (percent speedup over baseline)", base,
 		[]struct {
 			Label string
 			Cfg   core.Config
@@ -335,9 +383,15 @@ func RunFigure8(o Options) (*FigureResult, error) {
 
 // --- Figure 9: LCF size and hash sweep ---
 
-// RunFigure9 reproduces Figure 9: LCF sizes 256/2K crossed with LAB and
-// 3-PAX hashing, plus a no-LCF reference, over the baseline.
+// RunFigure9 reproduces Figure 9 with context.Background(); see
+// RunFigure9Context.
 func RunFigure9(o Options) (*FigureResult, error) {
+	return RunFigure9Context(context.Background(), o)
+}
+
+// RunFigure9Context reproduces Figure 9: LCF sizes 256/2K crossed with LAB
+// and 3-PAX hashing, plus a no-LCF reference, over the baseline.
+func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	mk := func(size int, hash lsq.HashKind) core.Config {
 		cfg := core.DefaultConfig(core.DesignSRL)
@@ -348,7 +402,7 @@ func RunFigure9(o Options) (*FigureResult, error) {
 	noLCF := core.DefaultConfig(core.DesignSRL)
 	noLCF.UseLCF = false
 	noLCF.UseIndexedFwd = false
-	return speedupFigure(o, "Figure 9: LCF size and hashing function impact (percent speedup over baseline)", base,
+	return speedupFigure(ctx, o, "Figure 9: LCF size and hashing function impact (percent speedup over baseline)", base,
 		[]struct {
 			Label string
 			Cfg   core.Config
@@ -363,14 +417,21 @@ func RunFigure9(o Options) (*FigureResult, error) {
 
 // --- Figure 10: forwarding cache vs data cache ---
 
-// RunFigure10 reproduces Figure 10: SRL with the separate forwarding cache
-// vs using the data cache for temporary updates, over the baseline.
+// RunFigure10 reproduces Figure 10 with context.Background(); see
+// RunFigure10Context.
 func RunFigure10(o Options) (*FigureResult, error) {
+	return RunFigure10Context(context.Background(), o)
+}
+
+// RunFigure10Context reproduces Figure 10: SRL with the separate
+// forwarding cache vs using the data cache for temporary updates, over the
+// baseline.
+func RunFigure10Context(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	fc := core.DefaultConfig(core.DesignSRL)
 	dc := core.DefaultConfig(core.DesignSRL)
 	dc.UseFC = false
-	return speedupFigure(o, "Figure 10: forwarding design option impact (percent speedup over baseline)", base,
+	return speedupFigure(ctx, o, "Figure 10: forwarding design option impact (percent speedup over baseline)", base,
 		[]struct {
 			Label string
 			Cfg   core.Config
@@ -457,12 +518,18 @@ func (e *EnergyResult) String() string {
 	return t.String()
 }
 
-// RunEnergy runs the hierarchical and SRL designs across all suites and
-// attributes dynamic energy to their structure activity. It quantifies the
-// paper's argument from the simulation itself: the hierarchical design's
-// energy is dominated by CAM comparator activations that the SRL design
-// simply never performs.
+// RunEnergy runs the energy attribution with context.Background(); see
+// RunEnergyContext.
 func RunEnergy(o Options) (*EnergyResult, error) {
+	return RunEnergyContext(context.Background(), o)
+}
+
+// RunEnergyContext runs the hierarchical and SRL designs across all suites
+// and attributes dynamic energy to their structure activity. It quantifies
+// the paper's argument from the simulation itself: the hierarchical
+// design's energy is dominated by CAM comparator activations that the SRL
+// design simply never performs.
+func RunEnergyContext(ctx context.Context, o Options) (*EnergyResult, error) {
 	filtered := core.DefaultConfig(core.DesignFilteredSTQ)
 	filtered.STQSize = 1024
 	cfgs := map[string]core.Config{
@@ -470,7 +537,7 @@ func RunEnergy(o Options) (*EnergyResult, error) {
 		"filtered": o.apply(filtered),
 		"srl":      o.apply(core.DefaultConfig(core.DesignSRL)),
 	}
-	raw, err := runMatrix(o, cfgs)
+	raw, err := runMatrix(ctx, o, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -552,23 +619,47 @@ func (l *LatencyResult) String() string {
 // LatencySweepLatencies are the swept memory latencies in cycles.
 var LatencySweepLatencies = []uint64{200, 400, 800, 1600}
 
-// RunLatencySweep measures how each design's throughput degrades as memory
-// latency grows — the latency tolerance the paper's title claims. The
-// baseline's small store queue caps its in-flight window, so its IPC decays
-// faster with latency than the SRL's (whose secondary buffering scales the
-// window with the miss).
+// RunLatencySweep runs the latency tolerance sweep with
+// context.Background(); see RunLatencySweepContext.
 func RunLatencySweep(o Options, suite trace.Suite) (*LatencyResult, error) {
-	out := &LatencyResult{Suite: suite}
+	return RunLatencySweepContext(context.Background(), o, suite)
+}
+
+// RunLatencySweepContext measures how each design's throughput degrades as
+// memory latency grows — the latency tolerance the paper's title claims.
+// The baseline's small store queue caps its in-flight window, so its IPC
+// decays faster with latency than the SRL's (whose secondary buffering
+// scales the window with the miss).
+func RunLatencySweepContext(ctx context.Context, o Options, suite trace.Suite) (*LatencyResult, error) {
+	type pointID struct {
+		d   core.StoreDesign
+		lat uint64
+	}
+	var ids []pointID
+	var points []sweep.Point
 	for _, d := range []core.StoreDesign{core.DesignBaseline, core.DesignSRL, core.DesignHierarchical} {
 		for _, lat := range LatencySweepLatencies {
 			cfg := o.apply(core.DefaultConfig(d))
 			cfg.Mem.MemLatency = lat
-			res, err := runPoint(cfg, suite)
-			if err != nil {
-				return nil, err
-			}
-			out.Points = append(out.Points, LatencyPoint{Design: d, MemLatency: lat, IPC: res.IPC()})
+			ids = append(ids, pointID{d, lat})
+			points = append(points, sweep.Point{
+				Label: fmt.Sprintf("%s@%d", d, lat),
+				Cfg:   cfg,
+				Suite: suite,
+			})
 		}
+	}
+	rep, err := sweep.Run(ctx, points, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := &LatencyResult{Suite: suite}
+	for i, id := range ids {
+		out.Points = append(out.Points, LatencyPoint{
+			Design:     id.d,
+			MemLatency: id.lat,
+			IPC:        rep.Points[i].Results.IPC(),
+		})
 	}
 	return out, nil
 }

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
+	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
 
@@ -116,6 +119,7 @@ func TestRunPowerAreaMentionsReductions(t *testing.T) {
 func TestSequentialMatchesParallel(t *testing.T) {
 	o := tinyOptions()
 	o.RunUops = 5_000
+	o.NoCache = true // compare two real runs, not a run and its memo
 	par, err := RunTable3(o)
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +133,92 @@ func TestSequentialMatchesParallel(t *testing.T) {
 		if par.Rows[i] != seq.Rows[i] {
 			t.Fatalf("parallel/sequential divergence: %+v vs %+v", par.Rows[i], seq.Rows[i])
 		}
+	}
+}
+
+// TestWorkersCountsMatch asserts the new Workers knob yields identical
+// figures regardless of pool size (the deterministic-aggregation claim).
+func TestWorkersCountsMatch(t *testing.T) {
+	o := tinyOptions()
+	o.RunUops = 5_000
+	o.NoCache = true
+	var rendered []string
+	for _, w := range []int{1, 4} {
+		o.Workers = w
+		fig, err := RunFigure10Context(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered = append(rendered, fig.String())
+	}
+	if rendered[0] != rendered[1] {
+		t.Fatalf("figure depends on worker count:\n%s\nvs\n%s", rendered[0], rendered[1])
+	}
+}
+
+// TestMemoizationAcrossFigures is the acceptance check: a Figure 2 +
+// Figure 6 pass sharing the process cache must simulate strictly fewer
+// points than the two figures contain (the baseline recurs, and Figure 2's
+// 1K-entry STQ is Figure 6's ideal STQ).
+func TestMemoizationAcrossFigures(t *testing.T) {
+	o := tinyOptions()
+	o.Seed = 4242 // unique to this test so the global cache starts cold for it
+	hits0, misses0 := sweep.Global().Hits(), sweep.Global().Misses()
+	fig2, err := RunFigure2Context(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := RunFigure6Context(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suites := len(trace.AllSuites())
+	totalPoints := (len(fig2.Series)+1)*suites + (len(fig6.Series)+1)*suites
+	simulated := int(sweep.Global().Misses() - misses0)
+	hits := int(sweep.Global().Hits() - hits0)
+	if simulated+hits != totalPoints {
+		t.Fatalf("cache accounting: %d simulated + %d hits != %d points", simulated, hits, totalPoints)
+	}
+	if simulated >= totalPoints {
+		t.Fatalf("memoization saved nothing: %d simulations for %d points", simulated, totalPoints)
+	}
+	// Figure 6 shares the baseline and the 1K-entry LargeSTQ config with
+	// Figure 2: two full suite rows of hits.
+	if hits < 2*suites {
+		t.Fatalf("expected >= %d cache hits, got %d", 2*suites, hits)
+	}
+}
+
+// TestCancelledContextSurfaces asserts a cancelled experiment reports
+// ctx.Err() through the joined error.
+func TestCancelledContextSurfaces(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunFigure6Context(ctx, tinyOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled figure error = %v", err)
+	}
+	if _, err := RunLatencySweepContext(ctx, tinyOptions(), trace.SFP2K); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled latency sweep error = %v", err)
+	}
+}
+
+// TestProgressReported asserts the Options.Progress hook sees every point.
+func TestProgressReported(t *testing.T) {
+	o := tinyOptions()
+	o.RunUops = 5_000
+	o.NoCache = true
+	var calls int
+	var last sweep.Progress
+	o.Workers = 1 // serialise so the plain counters below are race-free
+	o.Progress = func(p sweep.Progress) {
+		calls++
+		last = p
+	}
+	if _, err := RunTable3Context(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(trace.AllSuites()); calls != want || last.Done != want || last.Total != want {
+		t.Fatalf("progress calls=%d lastDone=%d lastTotal=%d want %d", calls, last.Done, last.Total, want)
 	}
 }
 

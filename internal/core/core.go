@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"srlproc/internal/bpred"
@@ -237,15 +238,34 @@ func (c *Core) findCkpt(id int) *ckptState {
 // Run simulates until cfg.WarmupUops+cfg.RunUops micro-ops have committed
 // and returns the measured-region results.
 func (c *Core) Run() *Results {
+	res, _ := c.RunContext(context.Background())
+	return res
+}
+
+// ctxPollMask sets how often RunContext polls its context: every
+// ctxPollMask+1 simulated cycles (a few microseconds of wall time), so
+// cancellation latency is far below any point's runtime while the check
+// stays off the per-cycle hot path.
+const ctxPollMask = 0x1fff
+
+// RunContext simulates like Run but with cooperative cancellation: the
+// context is polled every few thousand simulated cycles and, once it is
+// done, the run stops and ctx.Err() is returned (wrapped). The core is left
+// mid-flight and must not be reused after a cancelled run.
+func (c *Core) RunContext(ctx context.Context) (*Results, error) {
 	guard := uint64(0)
 	for !c.Done() {
+		if guard&ctxPollMask == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("core: %s/%s run aborted at cycle %d: %w",
+				c.res.Suite, c.res.Design, c.cycle, ctx.Err())
+		}
 		c.StepCycle()
 		guard++
 		if guard > 400*(c.cfg.WarmupUops+c.cfg.RunUops)+10_000_000 {
 			panic("core: no forward progress: " + c.debugState())
 		}
 	}
-	return c.Finalize()
+	return c.Finalize(), nil
 }
 
 // StepCycle advances the machine by exactly one cycle, handling the

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"srlproc/internal/trace"
+)
+
+// Fingerprint returns a stable 64-bit hash of the complete configuration,
+// covering every field including the nested memory-hierarchy config and the
+// workload seed. Two configs with equal fingerprints describe the same
+// simulation point (the simulator is deterministic in its config), which is
+// what makes cross-experiment result memoization in internal/sweep sound.
+//
+// The hash is stable within a process and across runs of the same build; it
+// is not a serialization format and makes no cross-version promises.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	// %#v spells out every field name and value of the struct, recursing
+	// into the nested cachesim.Config, so any config change perturbs the
+	// hash. Config is a pure value type (no pointers, maps or slices), so
+	// this rendering is deterministic.
+	fmt.Fprintf(h, "%#v", c)
+	return h.Sum64()
+}
+
+// PointFingerprint extends Config.Fingerprint with the workload suite,
+// identifying one (config, suite) simulation point. The seed is part of the
+// config and therefore already hashed.
+func PointFingerprint(c Config, suite trace.Suite) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x|%d", c.Fingerprint(), suite)
+	return h.Sum64()
+}

@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"srlproc/internal/core"
+	"srlproc/internal/trace"
+)
+
+// Cache memoizes simulation results by the stable fingerprint of their
+// (Config, suite) point — the seed and run lengths are part of the config
+// and therefore part of the key. The simulator is deterministic in its
+// config, so a cached *core.Results is indistinguishable from a fresh run.
+//
+// Concurrent requests for the same point are collapsed: the first caller
+// simulates, later callers wait for its result (single-flight), so one
+// sweep never simulates a point twice no matter how its worker pool
+// schedules duplicates. Failed or cancelled computations are not cached.
+//
+// Cached results are shared pointers and must be treated as read-only by
+// all consumers, which every aggregation path in this repository does.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[uint64]*cacheEntry
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when res/err are final
+	res   *core.Results
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[uint64]*cacheEntry)}
+}
+
+// globalCache memoizes across every sweep in the process, so the repeated
+// points of the paper's evaluation (the baseline and SRL configs recur in
+// Figures 2, 6, 8, 9 and 10) are simulated once per process.
+var globalCache = NewCache()
+
+// Global returns the process-wide cache that sweeps use by default.
+func Global() *Cache { return globalCache }
+
+// Hits returns how many lookups were served from the cache.
+func (c *Cache) Hits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns how many lookups ran a fresh simulation.
+func (c *Cache) Misses() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Len returns the number of memoized points.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every memoized result and zeroes the hit/miss counters.
+// In-flight computations complete but are not re-cached under old entries.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[uint64]*cacheEntry)
+	c.hits, c.misses = 0, 0
+}
+
+// do returns the memoized result for the point, computing it with fn on a
+// miss. hit reports whether the result came from the cache (including
+// waiting on another goroutine's in-flight computation). A ctx cancelled
+// while waiting returns ctx's error without disturbing the computation.
+func (c *Cache) do(ctx context.Context, cfg core.Config, suite trace.Suite,
+	fn func() (*core.Results, error)) (res *core.Results, hit bool, err error) {
+	key := core.PointFingerprint(cfg, suite)
+	for {
+		c.mu.Lock()
+		if e, ok := c.m[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					c.mu.Lock()
+					c.hits++
+					c.mu.Unlock()
+					return e.res, true, nil
+				}
+				// The in-flight attempt failed and removed itself from
+				// the map; retry so this caller computes (or waits on a
+				// newer attempt) and reports its own error.
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.m[key] = e
+		c.misses++
+		c.mu.Unlock()
+		res, err = c.compute(key, e, fn)
+		return res, false, err
+	}
+}
+
+// compute runs fn, publishes its outcome on e, and evicts e on failure so
+// the point can be retried. A panic in fn is published as an error to any
+// waiters before being re-raised to the caller.
+func (c *Cache) compute(key uint64, e *cacheEntry,
+	fn func() (*core.Results, error)) (res *core.Results, err error) {
+	defer func() {
+		p := recover()
+		if p != nil {
+			e.err = fmt.Errorf("sweep: simulation panicked: %v", p)
+		} else {
+			e.res, e.err = res, err
+		}
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.m, key)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		if p != nil {
+			panic(p)
+		}
+	}()
+	res, err = fn()
+	return res, err
+}

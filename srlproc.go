@@ -21,22 +21,27 @@
 // Quick start:
 //
 //	cfg := srlproc.DefaultConfig(srlproc.DesignSRL)
-//	res, err := srlproc.Run(cfg, srlproc.SINT2K)
+//	res, err := srlproc.RunContext(ctx, cfg, srlproc.SINT2K)
 //	if err != nil { ... }
 //	fmt.Printf("IPC %.2f\n", res.IPC())
 //
-// To regenerate the paper's figures use the functions mirroring
-// internal/bench (RunFigure2, RunFigure6, RunTable3, ...), or the
-// cmd/experiments binary.
+// To regenerate the paper's figures use the context-aware experiment
+// runners (RunFigure2Context, RunFigure6Context, RunTable3Context, ...) or
+// the cmd/experiments binary. Experiments execute on the internal sweep
+// engine: a bounded worker pool with cancellation, panic isolation,
+// progress reporting and cross-experiment result memoization, controlled
+// through Options (Workers, Progress, NoCache).
 package srlproc
 
 import (
+	"context"
 	"io"
 
 	"srlproc/internal/bench"
 	"srlproc/internal/core"
 	"srlproc/internal/lsq"
 	"srlproc/internal/multicore"
+	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
 
@@ -84,14 +89,23 @@ func AllSuites() []Suite { return trace.AllSuites() }
 // DefaultConfig returns the Table 1 machine with the given store design.
 func DefaultConfig(d StoreDesign) Config { return core.DefaultConfig(d) }
 
-// Run simulates cfg on the given workload suite and returns the measured
-// results.
-func Run(cfg Config, suite Suite) (*Results, error) {
+// RunContext simulates cfg on the given workload suite and returns the
+// measured results. The context is polled every few thousand simulated
+// cycles; once it is cancelled or past its deadline the simulation stops
+// and the returned error wraps ctx.Err().
+func RunContext(ctx context.Context, cfg Config, suite Suite) (*Results, error) {
 	c, err := core.New(cfg, suite)
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(), nil
+	return c.RunContext(ctx)
+}
+
+// Run simulates cfg on the given workload suite with context.Background().
+//
+// Deprecated: use RunContext, which supports cancellation and deadlines.
+func Run(cfg Config, suite Suite) (*Results, error) {
+	return RunContext(context.Background(), cfg, suite)
 }
 
 // TraceSource supplies micro-ops to the simulator; synthetic generators and
@@ -116,15 +130,24 @@ func NewTraceReader(rs io.ReadSeeker) (TraceSource, error) {
 	return trace.NewReader(rs)
 }
 
-// RunFromSource simulates cfg over an arbitrary micro-op source (e.g. a
-// recorded trace). The suite only labels results and sets the ambient
-// external-snoop rate.
-func RunFromSource(cfg Config, src TraceSource, suite Suite) (*Results, error) {
+// RunFromSourceContext simulates cfg over an arbitrary micro-op source
+// (e.g. a recorded trace) with cooperative cancellation, like RunContext.
+// The suite only labels results and sets the ambient external-snoop rate.
+func RunFromSourceContext(ctx context.Context, cfg Config, src TraceSource, suite Suite) (*Results, error) {
 	c, err := core.NewFromSource(cfg, src, trace.ProfileFor(suite))
 	if err != nil {
 		return nil, err
 	}
-	return c.Run(), nil
+	return c.RunContext(ctx)
+}
+
+// RunFromSource simulates cfg over an arbitrary micro-op source with
+// context.Background().
+//
+// Deprecated: use RunFromSourceContext, which supports cancellation and
+// deadlines.
+func RunFromSource(cfg Config, src TraceSource, suite Suite) (*Results, error) {
+	return RunFromSourceContext(context.Background(), cfg, src, suite)
 }
 
 // MulticoreConfig parameterises a lockstep multiprocessor simulation with
@@ -145,8 +168,20 @@ func NewMulticore(cfg MulticoreConfig) (*multicore.System, error) {
 	return multicore.New(cfg)
 }
 
-// Options scales the experiment runners.
+// Options scales the experiment runners and tunes the sweep engine that
+// executes their simulation points: Workers bounds the worker pool (0
+// defers to the deprecated Parallel switch, 1 is serial, n > 1 caps
+// concurrency), Progress observes per-point completion, and NoCache
+// disables cross-experiment result memoization.
 type Options = bench.Options
+
+// Progress is one snapshot of a running sweep: points done/total, cache
+// hits, failures, elapsed wall time and a naive ETA.
+type Progress = sweep.Progress
+
+// ProgressFunc receives Progress snapshots; set it on Options.Progress.
+// With more than one worker it is called concurrently.
+type ProgressFunc = sweep.ProgressFunc
 
 // DefaultOptions sizes experiments for a full reproduction run;
 // QuickOptions for fast sanity passes.
@@ -155,21 +190,99 @@ func DefaultOptions() Options { return bench.DefaultOptions() }
 // QuickOptions returns reduced-scale options.
 func QuickOptions() Options { return bench.QuickOptions() }
 
-// Experiment runners — one per table/figure of the paper's evaluation.
-var (
-	RunFigure2  = bench.RunFigure2
-	RunFigure6  = bench.RunFigure6
-	RunTable3   = bench.RunTable3
-	RunFigure7  = bench.RunFigure7
-	RunFigure8  = bench.RunFigure8
-	RunFigure9  = bench.RunFigure9
-	RunFigure10 = bench.RunFigure10
-)
+// FigureResult is a generic speedup figure: one series per configuration,
+// percent speedup over the baseline per suite, plus the raw per-point
+// results. Returned by the Figure 2/6/8/9/10 runners.
+type FigureResult = bench.FigureResult
 
-// RenderTable1 and RenderTable2 echo the configuration tables; RunPowerArea
-// reproduces the Section 6.2 power/area comparison.
-var (
-	RenderTable1 = bench.RenderTable1
-	RenderTable2 = bench.RenderTable2
-	RunPowerArea = bench.RunPowerArea
-)
+// Table3Result holds every suite's SRL statistics (Table 3).
+type Table3Result = bench.Table3Result
+
+// Figure7Result is the SRL occupancy distribution (Figure 7).
+type Figure7Result = bench.Figure7Result
+
+// RunFigure2Context reproduces Figure 2: percent speedup of single-level
+// store queues of 128..1K entries over the 48-entry baseline, per suite.
+func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
+	return bench.RunFigure2Context(ctx, o)
+}
+
+// RunFigure6Context reproduces Figure 6: SRL vs the hierarchical store
+// queue vs an ideal (1K-entry, fast) store queue, over the baseline.
+func RunFigure6Context(ctx context.Context, o Options) (*FigureResult, error) {
+	return bench.RunFigure6Context(ctx, o)
+}
+
+// RunTable3Context reproduces Table 3: SRL statistics per suite.
+func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
+	return bench.RunTable3Context(ctx, o)
+}
+
+// RunFigure7Context reproduces Figure 7: the SRL occupancy distribution.
+func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
+	return bench.RunFigure7Context(ctx, o)
+}
+
+// RunFigure8Context reproduces Figure 8: the LCF and indexed-forwarding
+// ablation.
+func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
+	return bench.RunFigure8Context(ctx, o)
+}
+
+// RunFigure9Context reproduces Figure 9: the LCF size and hash-function
+// sweep.
+func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
+	return bench.RunFigure9Context(ctx, o)
+}
+
+// RunFigure10Context reproduces Figure 10: the separate forwarding cache
+// vs data-cache temporary updates.
+func RunFigure10Context(ctx context.Context, o Options) (*FigureResult, error) {
+	return bench.RunFigure10Context(ctx, o)
+}
+
+// RunFigure2 reproduces Figure 2 with context.Background().
+//
+// Deprecated: use RunFigure2Context.
+func RunFigure2(o Options) (*FigureResult, error) { return bench.RunFigure2(o) }
+
+// RunFigure6 reproduces Figure 6 with context.Background().
+//
+// Deprecated: use RunFigure6Context.
+func RunFigure6(o Options) (*FigureResult, error) { return bench.RunFigure6(o) }
+
+// RunTable3 reproduces Table 3 with context.Background().
+//
+// Deprecated: use RunTable3Context.
+func RunTable3(o Options) (*Table3Result, error) { return bench.RunTable3(o) }
+
+// RunFigure7 reproduces Figure 7 with context.Background().
+//
+// Deprecated: use RunFigure7Context.
+func RunFigure7(o Options) (*Figure7Result, error) { return bench.RunFigure7(o) }
+
+// RunFigure8 reproduces Figure 8 with context.Background().
+//
+// Deprecated: use RunFigure8Context.
+func RunFigure8(o Options) (*FigureResult, error) { return bench.RunFigure8(o) }
+
+// RunFigure9 reproduces Figure 9 with context.Background().
+//
+// Deprecated: use RunFigure9Context.
+func RunFigure9(o Options) (*FigureResult, error) { return bench.RunFigure9(o) }
+
+// RunFigure10 reproduces Figure 10 with context.Background().
+//
+// Deprecated: use RunFigure10Context.
+func RunFigure10(o Options) (*FigureResult, error) { return bench.RunFigure10(o) }
+
+// RenderTable1 prints the baseline machine configuration (Table 1). It
+// runs no simulation and needs no context.
+func RenderTable1() string { return bench.RenderTable1() }
+
+// RenderTable2 prints the benchmark suite table (Table 2).
+func RenderTable2() string { return bench.RenderTable2() }
+
+// RunPowerArea reproduces the Section 6.2 power/area comparison from the
+// calibrated analytical model (no timing simulation involved).
+func RunPowerArea() string { return bench.RunPowerArea() }

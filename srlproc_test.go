@@ -1,9 +1,13 @@
 package srlproc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPublicAPIRoundTrip drives the library exactly as the README shows.
@@ -71,6 +75,74 @@ func TestExperimentRunnersWired(t *testing.T) {
 	}
 	if len(fig.Series) != 2 {
 		t.Fatalf("figure 10 has %d series", len(fig.Series))
+	}
+}
+
+func TestRunContextCompletes(t *testing.T) {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 1_000
+	cfg.RunUops = 8_000
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := RunContext(ctx, cfg, WEB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Uops < cfg.RunUops {
+		t.Fatalf("short run: %d uops", res.Uops)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 0
+	cfg.RunUops = 50_000_000
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := RunContext(ctx, cfg, WEB); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline not surfaced: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+func TestRunFromSourceContext(t *testing.T) {
+	cfg := DefaultConfig(DesignBaseline)
+	cfg.WarmupUops = 500
+	cfg.RunUops = 4_000
+	src := NewSyntheticSource(MM, 7)
+	res, err := RunFromSourceContext(context.Background(), cfg, src, MM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suite != MM {
+		t.Fatalf("suite label %v", res.Suite)
+	}
+}
+
+func TestContextExperimentRunnersWired(t *testing.T) {
+	o := QuickOptions()
+	o.WarmupUops, o.RunUops = 1_000, 6_000
+	o.Workers = 2
+	var points atomic.Int64
+	o.Progress = func(p Progress) { points.Store(int64(p.Done)) }
+	fig, err := RunFigure10Context(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("figure 10 has %d series", len(fig.Series))
+	}
+	if points.Load() == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	// A cancelled context aborts and surfaces ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunTable3Context(ctx, o); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled experiment error = %v", err)
 	}
 }
 
