@@ -3,7 +3,7 @@
 # sweep engine's worker pool is the default execution path for every
 # experiment. Run both before merging.
 
-.PHONY: tier1 verify bench
+.PHONY: tier1 verify lint bench
 
 tier1:
 	go build ./... && go test ./...
@@ -11,6 +11,15 @@ tier1:
 verify:
 	go vet ./...
 	go test -race ./...
+
+# Formatting and static checks, kept separate from the test gates so CI
+# can report them as a distinct failure.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+	go vet ./...
 
 # The sweep-engine comparison: serial vs pooled vs pooled+memoized on the
 # Figure 6 matrix at QuickOptions scale.

@@ -7,20 +7,32 @@
 // result memoization that otherwise simulates recurring configurations
 // (the baseline, the SRL) only once. Ctrl-C cancels gracefully: in-flight
 // points abort and the process exits instead of leaking goroutines.
+//
+// Output is the paper's tables by default; -json and -csv switch to
+// machine-readable exports. -timeline and -trace-out enable per-run
+// observability (internal/obs) and export the cycle-window time-series
+// and the Chrome-trace event stream of the simulated points.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
 	"srlproc/internal/bench"
+	"srlproc/internal/core"
+	"srlproc/internal/obs"
 	"srlproc/internal/trace"
 )
 
@@ -30,11 +42,40 @@ func main() {
 	warm := flag.Uint64("warmup", 0, "override warmup micro-ops per point")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	only := flag.String("only", "", "run only one experiment: table1,table2,fig2,fig6,table3,fig7,fig8,fig9,fig10,energy,latency,power")
+	figure := flag.Int("figure", 0, "run only one figure by number (2,6,7,8,9,10); shorthand for -only figN")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 10m); 0 = no limit")
 	progress := flag.Bool("progress", false, "print live sweep progress to stderr")
 	nocache := flag.Bool("nocache", false, "disable cross-experiment result memoization")
+	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
+	csvOut := flag.Bool("csv", false, "emit results as CSV instead of tables")
+	timelineOut := flag.String("timeline", "", "write every point's cycle-window timeline as one CSV to this file ('-' = stdout); enables sampling")
+	traceOut := flag.String("trace-out", "", "write one point's event trace in Chrome trace format to this file ('-' = stdout); enables tracing")
+	tracePoint := flag.String("trace-point", "", "point whose trace -trace-out exports, as 'label/SUITE' (default: first point with events)")
+	sampleEvery := flag.Uint64("sample-every", obs.DefaultSampleEvery, "timeline sampling window in cycles (with -timeline)")
 	flag.Parse()
+
+	if *figure != 0 {
+		if *only != "" {
+			log.Fatal("use -only or -figure, not both")
+		}
+		*only = fmt.Sprintf("fig%d", *figure)
+	}
+	if *jsonOut && *csvOut {
+		log.Fatal("use -json or -csv, not both")
+	}
+	if *timelineOut == "-" && *traceOut == "-" {
+		log.Fatal("-timeline and -trace-out cannot both write to stdout")
+	}
+	if (*timelineOut == "-" || *traceOut == "-") && (*jsonOut || *csvOut) {
+		log.Fatal("-timeline/-trace-out '-' conflicts with -json/-csv on stdout; write to a file instead")
+	}
+	// When a streaming export owns stdout, the human-readable tables move
+	// to stderr so the exported document stays parseable.
+	reportOut := io.Writer(os.Stdout)
+	if *timelineOut == "-" || *traceOut == "-" {
+		reportOut = os.Stderr
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -60,14 +101,51 @@ func main() {
 	if *progress {
 		o.Progress = progressPrinter()
 	}
+	if *timelineOut != "" {
+		o.Obs.SampleEvery = *sampleEvery
+	}
+	if *traceOut != "" {
+		o.Obs.TraceEvents = true
+	}
+	if err := o.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
 
+	// jsonDocs collects every selected experiment's JSON document; a single
+	// selection prints bare, multiple print as one name-keyed object.
+	type namedDoc struct {
+		name string
+		doc  json.RawMessage
+	}
+	var jsonDocs []namedDoc
+	var observed []labeledResult
+
+	emitText := func(name, text string) {
+		switch {
+		case *jsonOut:
+			doc, err := json.Marshal(text)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			jsonDocs = append(jsonDocs, namedDoc{name, doc})
+		case *csvOut:
+			// Configuration echoes have no CSV form; skip them silently
+			// unless explicitly selected.
+			if *only == name {
+				log.Fatalf("%s has no CSV form", name)
+			}
+		default:
+			fmt.Fprintln(reportOut, text)
+		}
+	}
+
 	if want("table1") {
-		fmt.Println(bench.RenderTable1())
+		emitText("table1", bench.RenderTable1())
 	}
 	if want("table2") {
-		fmt.Println(bench.RenderTable2())
+		emitText("table2", bench.RenderTable2())
 	}
 	run := func(name string, f func(context.Context, bench.Options) (fmt.Stringer, error)) {
 		if !want(name) {
@@ -89,22 +167,209 @@ func main() {
 			log.Printf("%s: %v", name, err)
 			os.Exit(1)
 		}
-		fmt.Println(r.String())
+		observed = append(observed, rawResults(r)...)
+		switch {
+		case *jsonOut:
+			doc, err := json.Marshal(r)
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			jsonDocs = append(jsonDocs, namedDoc{name, doc})
+		case *csvOut:
+			cw, ok := r.(interface{ WriteCSV(io.Writer) error })
+			if !ok {
+				log.Fatalf("%s has no CSV form", name)
+			}
+			if *only == "" {
+				fmt.Printf("# %s\n", name)
+			}
+			if err := cw.WriteCSV(os.Stdout); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		default:
+			fmt.Fprintln(reportOut, r.String())
+		}
 	}
-	run("fig2", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure2Context(ctx, o) })
-	run("fig6", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure6Context(ctx, o) })
-	run("table3", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunTable3Context(ctx, o) })
-	run("fig7", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure7Context(ctx, o) })
-	run("fig8", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure8Context(ctx, o) })
-	run("fig9", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure9Context(ctx, o) })
-	run("fig10", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunFigure10Context(ctx, o) })
-	run("energy", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) { return bench.RunEnergyContext(ctx, o) })
+	run("fig2", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunFigure2Context(ctx, o)
+	})
+	run("fig6", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunFigure6Context(ctx, o)
+	})
+	run("table3", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunTable3Context(ctx, o)
+	})
+	run("fig7", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunFigure7Context(ctx, o)
+	})
+	run("fig8", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunFigure8Context(ctx, o)
+	})
+	run("fig9", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunFigure9Context(ctx, o)
+	})
+	run("fig10", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunFigure10Context(ctx, o)
+	})
+	run("energy", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+		return bench.RunEnergyContext(ctx, o)
+	})
 	run("latency", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
 		return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
 	})
 	if want("power") {
-		fmt.Println(bench.RunPowerArea())
+		emitText("power", bench.RunPowerArea())
 	}
+
+	if *jsonOut {
+		out := bufio.NewWriter(os.Stdout)
+		if len(jsonDocs) == 1 {
+			out.Write(jsonDocs[0].doc)
+			out.WriteByte('\n')
+		} else {
+			obj := make(map[string]json.RawMessage, len(jsonDocs))
+			for _, d := range jsonDocs {
+				obj[d.name] = d.doc
+			}
+			enc := json.NewEncoder(out)
+			if err := enc.Encode(obj); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := out.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *timelineOut != "" {
+		if err := writeTimelines(*timelineOut, observed); err != nil {
+			log.Fatalf("-timeline: %v", err)
+		}
+	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, *tracePoint, observed); err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+	}
+}
+
+// labeledResult names one simulated point's results for export.
+type labeledResult struct {
+	Label string
+	Suite trace.Suite
+	Res   *core.Results
+}
+
+// rawResults extracts the per-point results an experiment retains, in
+// deterministic (label, suite) order. Experiments without raw results
+// (energy, latency) contribute nothing.
+func rawResults(r fmt.Stringer) []labeledResult {
+	var out []labeledResult
+	bySuite := func(label string, m map[trace.Suite]*core.Results) {
+		for _, su := range trace.AllSuites() {
+			if res := m[su]; res != nil {
+				out = append(out, labeledResult{label, su, res})
+			}
+		}
+	}
+	switch v := r.(type) {
+	case *bench.FigureResult:
+		labels := make([]string, 0, len(v.Raw))
+		for label := range v.Raw {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			bySuite(label, v.Raw[label])
+		}
+	case *bench.Table3Result:
+		bySuite("srl", v.Raw)
+	case *bench.Figure7Result:
+		bySuite("srl", v.Raw)
+	}
+	return out
+}
+
+// writeTimelines renders every observed point's timeline into one CSV,
+// with leading label/suite columns so a plotting script can facet on them.
+func writeTimelines(path string, points []labeledResult) error {
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	bw := bufio.NewWriter(w)
+	wrote := false
+	for _, p := range points {
+		if p.Res.Timeline == nil {
+			continue
+		}
+		var sb strings.Builder
+		if err := p.Res.Timeline.WriteCSV(&sb); err != nil {
+			return err
+		}
+		lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+		if !wrote {
+			fmt.Fprintf(bw, "label,suite,%s\n", lines[0])
+			wrote = true
+		}
+		for _, line := range lines[1:] {
+			fmt.Fprintf(bw, "%s,%s,%s\n", p.Label, p.Suite, line)
+		}
+	}
+	if !wrote {
+		return errors.New("no timelines recorded (cache hit? rerun with -nocache)")
+	}
+	return bw.Flush()
+}
+
+// writeTrace renders one observed point's event trace in Chrome trace
+// format. sel selects the point as "label/SUITE"; empty means the first
+// point that recorded any events.
+func writeTrace(path, sel string, points []labeledResult) error {
+	var chosen *labeledResult
+	for i := range points {
+		p := &points[i]
+		if p.Res.Trace == nil {
+			continue
+		}
+		if sel != "" {
+			if sel == p.Label+"/"+p.Suite.String() {
+				chosen = p
+				break
+			}
+			continue
+		}
+		if p.Res.Trace.Len() > 0 {
+			chosen = p
+			break
+		}
+	}
+	if chosen == nil {
+		if sel != "" {
+			return fmt.Errorf("point %q not found or recorded no trace (cache hit? rerun with -nocache)", sel)
+		}
+		return errors.New("no traces recorded (cache hit? rerun with -nocache)")
+	}
+	w, closeFn, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer closeFn()
+	fmt.Fprintf(os.Stderr, "trace-out: exporting %s/%s (%d events)\n", chosen.Label, chosen.Suite, chosen.Res.Trace.Len())
+	return chosen.Res.Trace.WriteChromeTrace(w, chosen.Res.Timeline)
+}
+
+// openOut opens path for writing; "-" means stdout.
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // progressPrinter renders an in-place progress line on stderr.

@@ -8,6 +8,8 @@
 //	srlsim -design srl -suite SFP2K
 //	srlsim -design hier -suite SERVER -uops 500000
 //	srlsim -design large -stq 256 -suite WS -v
+//	srlsim -design srl -suite SFP2K -json
+//	srlsim -design srl -suite WEB -timeline ts.csv -trace-out trace.json
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -37,8 +40,28 @@ func main() {
 	noIF := flag.Bool("no-indexed-fwd", false, "disable indexed forwarding (srl)")
 	noFC := flag.Bool("no-fc", false, "use the data cache for temporary updates instead of the FC (srl)")
 	verbose := flag.Bool("v", false, "print extra counters")
-	asJSON := flag.Bool("json", false, "emit results as JSON")
+	asJSON := flag.Bool("json", false, "emit the full results document as JSON")
+	asCSV := flag.Bool("csv", false, "emit the results as CSV (header + one row)")
+	timelineOut := flag.String("timeline", "", "write the cycle-window timeline as CSV to this file ('-' = stdout); enables sampling")
+	traceOut := flag.String("trace-out", "", "write the event trace in Chrome trace format to this file ('-' = stdout); enables tracing")
+	sampleEvery := flag.Uint64("sample-every", 0, "timeline sampling window in cycles (default 4096 with -timeline)")
 	flag.Parse()
+
+	if *asJSON && *asCSV {
+		log.Fatal("use -json or -csv, not both")
+	}
+	if *timelineOut == "-" && *traceOut == "-" {
+		log.Fatal("-timeline and -trace-out cannot both write to stdout")
+	}
+	if (*timelineOut == "-" || *traceOut == "-") && (*asJSON || *asCSV) {
+		log.Fatal("-timeline/-trace-out '-' conflicts with -json/-csv on stdout; write to a file instead")
+	}
+	// When a streaming export owns stdout, the text report moves to stderr
+	// so the exported document stays parseable.
+	reportOut := io.Writer(os.Stdout)
+	if *timelineOut == "-" || *traceOut == "-" {
+		reportOut = os.Stderr
+	}
 
 	// Ctrl-C / SIGTERM cancels the run instead of killing it mid-print.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -98,6 +121,15 @@ func main() {
 	if *noFC {
 		cfg.UseFC = false
 	}
+	if *timelineOut != "" || *sampleEvery > 0 {
+		cfg.Obs.SampleEvery = *sampleEvery
+		if cfg.Obs.SampleEvery == 0 {
+			cfg.Obs.SampleEvery = srlproc.DefaultObsConfig().SampleEvery
+		}
+	}
+	if *traceOut != "" {
+		cfg.Obs.TraceEvents = true
+	}
 
 	res, err := srlproc.RunContext(ctx, cfg, su)
 	if err != nil {
@@ -110,31 +142,58 @@ func main() {
 		}
 		log.Fatal(err)
 	}
-	if *asJSON {
-		out := map[string]interface{}{
-			"design": d.String(), "suite": su.String(),
-			"cycles": res.Cycles, "uops": res.Uops, "ipc": res.IPC(),
-			"loads": res.Loads, "stores": res.Stores,
-			"redoneStoresPct": res.PctRedoneStores(),
-			"missDepUopsPct":  res.PctMissDependentUops(),
-			"srlStallsPer10k": res.SRLStallsPer10K(),
-			"srlOccupiedPct":  res.PctTimeSRLOccupied(),
-			"restarts":        res.Restarts, "branchMispredicts": res.BranchMispredicts,
-			"memDepViolations": res.MemDepViolations, "snoopViolations": res.SnoopViolations,
+	if *timelineOut != "" {
+		if err := writeTo(*timelineOut, res.Timeline.WriteCSV); err != nil {
+			log.Fatalf("-timeline: %v", err)
 		}
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, func(w io.Writer) error {
+			return res.Trace.WriteChromeTrace(w, res.Timeline)
+		}); err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+	}
+	switch {
+	case *asJSON:
+		// Results.MarshalJSON emits every raw counter plus the derived
+		// figures (ipc, redone-store percentages, ...), the typed metric
+		// set, and the timeline/trace summary when observability is on.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(res); err != nil {
 			log.Fatal(err)
 		}
-		return
+	case *asCSV:
+		if err := res.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprint(reportOut, res)
+		if d == srlproc.DesignSRL {
+			fmt.Fprintf(reportOut, "  SRL: redone=%.1f%% stalls/10k=%.1f occupied=%.1f%%\n",
+				res.PctRedoneStores(), res.SRLStallsPer10K(), res.PctTimeSRLOccupied())
+		}
+		if *verbose {
+			for _, name := range res.ExtraNames() {
+				fmt.Fprintf(reportOut, "%-40s %d\n", name, res.Extra(name))
+			}
+		}
 	}
-	fmt.Print(res)
-	if d == srlproc.DesignSRL {
-		fmt.Printf("  SRL: redone=%.1f%% stalls/10k=%.1f occupied=%.1f%%\n",
-			res.PctRedoneStores(), res.SRLStallsPer10K(), res.PctTimeSRLOccupied())
+}
+
+// writeTo opens path ("-" = stdout) and hands it to write.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
 	}
-	if *verbose && res.Counters != nil {
-		fmt.Fprintln(os.Stdout, res.Counters)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -38,7 +38,7 @@ func main() {
 	fmt.Printf("\nwith external snoops:\n")
 	fmt.Printf("  IPC %.2f, snoop violations %d, restarts %d\n",
 		withRes.IPC(), withRes.SnoopViolations, withRes.Restarts)
-	fmt.Printf("  snoops injected: %d\n", withRes.Counters.Get("snoops_injected"))
+	fmt.Printf("  snoops injected: %d\n", withRes.Extra("snoops_injected"))
 	fmt.Printf("\nwithout external snoops:\n")
 	fmt.Printf("  IPC %.2f, snoop violations %d, restarts %d\n",
 		withoutRes.IPC(), withoutRes.SnoopViolations, withoutRes.Restarts)

@@ -18,6 +18,7 @@ import (
 
 	"srlproc/internal/core"
 	"srlproc/internal/lsq"
+	"srlproc/internal/obs"
 	"srlproc/internal/power"
 	"srlproc/internal/stats"
 	"srlproc/internal/sweep"
@@ -57,6 +58,12 @@ type Options struct {
 	// NoCache disables cross-experiment result memoization, forcing
 	// every point to simulate fresh.
 	NoCache bool
+
+	// Obs configures per-run observability (cycle-window timeline sampling
+	// and event tracing) on every simulated point; the zero value disables
+	// both. See obs.Config. Observed points fingerprint differently from
+	// unobserved ones, so they memoize separately.
+	Obs obs.Config
 }
 
 // DefaultOptions is sized for minutes-scale full reproduction runs.
@@ -73,23 +80,33 @@ func (o Options) apply(cfg core.Config) core.Config {
 	cfg.WarmupUops = o.WarmupUops
 	cfg.RunUops = o.RunUops
 	cfg.Seed = o.Seed
+	cfg.Obs = o.Obs
 	return cfg
 }
 
-// workers maps the (Workers, deprecated Parallel) pair to the sweep
-// engine's pool-size convention.
-func (o Options) workers() int {
-	if o.Workers != 0 {
-		return o.Workers
+// Validate normalises the options in place and reports inconsistencies.
+// It is the one place the deprecated Parallel switch is interpreted:
+// Workers == 0 folds Parallel into Workers (true → a GOMAXPROCS-sized
+// pool, false → serial), after which Parallel is never consulted again.
+// Every experiment entry point validates its options, so callers only
+// need to call this to normalise early or to surface errors themselves.
+func (o *Options) Validate() error {
+	if o.Workers == 0 {
+		if o.Parallel {
+			o.Workers = -1 // sweep: GOMAXPROCS
+		} else {
+			o.Workers = 1
+		}
 	}
-	if o.Parallel {
-		return 0 // sweep: GOMAXPROCS
+	if o.RunUops == 0 {
+		return fmt.Errorf("bench: RunUops must be positive")
 	}
-	return 1
+	return nil
 }
 
 func (o Options) sweepOptions() sweep.Options {
-	return sweep.Options{Workers: o.workers(), Progress: o.Progress, NoCache: o.NoCache}
+	o.Validate() // normalise the Parallel switch on our local copy
+	return sweep.Options{Workers: o.Workers, Progress: o.Progress, NoCache: o.NoCache}
 }
 
 // runMatrix runs one configuration per label across all suites on the
@@ -306,6 +323,9 @@ func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
 type Figure7Result struct {
 	Thresholds []uint64
 	BySuite    map[trace.Suite][]float64
+	// Raw results per suite for deeper inspection (occupancy histograms,
+	// timelines when Options.Obs is set).
+	Raw map[trace.Suite]*core.Results
 }
 
 // String renders the distribution.
@@ -339,7 +359,7 @@ func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Figure7Result{Thresholds: stats.Figure7Thresholds, BySuite: make(map[trace.Suite][]float64)}
+	out := &Figure7Result{Thresholds: stats.Figure7Thresholds, BySuite: make(map[trace.Suite][]float64), Raw: raw["srl"]}
 	for _, su := range trace.AllSuites() {
 		occ := raw["srl"][su].SRLOccupancy
 		var vals []float64

@@ -11,6 +11,7 @@ import (
 
 	"srlproc/internal/cachesim"
 	"srlproc/internal/lsq"
+	"srlproc/internal/obs"
 )
 
 // StoreDesign selects the store-processing organisation under evaluation.
@@ -56,6 +57,24 @@ func (d StoreDesign) String() string {
 	default:
 		return fmt.Sprintf("design(%d)", int(d))
 	}
+}
+
+// MarshalText renders the design by name, so StoreDesign-keyed maps and
+// fields marshal to readable JSON instead of integers.
+func (d StoreDesign) MarshalText() ([]byte, error) {
+	return []byte(d.String()), nil
+}
+
+// UnmarshalText parses a design name as produced by String/MarshalText.
+func (d *StoreDesign) UnmarshalText(text []byte) error {
+	name := string(text)
+	for _, dd := range []StoreDesign{DesignBaseline, DesignLargeSTQ, DesignHierarchical, DesignSRL, DesignFilteredSTQ} {
+		if dd.String() == name {
+			*d = dd
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown store design %q", name)
 }
 
 // Config parameterises one simulation. DefaultConfig reproduces Table 1.
@@ -133,6 +152,13 @@ type Config struct {
 	// External snoop injection (multiprocessor ordering traffic);
 	// rate comes from the workload profile unless disabled here.
 	SnoopsEnabled bool
+
+	// Obs enables run observability: the cycle-window time-series sampler
+	// and the typed event trace (see internal/obs). The zero value
+	// disables both; a disabled run pays one pointer comparison per cycle
+	// and allocates nothing. Obs is part of the config fingerprint, so
+	// observed and unobserved runs memoize separately.
+	Obs obs.Config
 }
 
 // DefaultConfig returns the Table 1 baseline machine with the given store

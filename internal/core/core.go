@@ -10,6 +10,7 @@ import (
 	"srlproc/internal/isa"
 	"srlproc/internal/lsq"
 	"srlproc/internal/memdep"
+	"srlproc/internal/obs"
 	"srlproc/internal/stats"
 	"srlproc/internal/trace"
 	"srlproc/internal/xrand"
@@ -123,15 +124,23 @@ type Core struct {
 	snoopSink func(addr uint64)
 	finalized bool
 
-	// Statistics.
+	// Statistics. metrics is the typed hot-path counter set (array
+	// increments, no allocation); counters keeps only genuinely free-form
+	// extras whose names are dynamic.
 	res              Results
 	srlOcc           *stats.OccupancyTracker
+	metrics          obs.MetricSet
 	counters         *stats.Counters
 	committed        uint64 // total committed uops
 	committedAtReset uint64
 	measuring        bool
 	statsResetAt     uint64
 	actBase          activity
+
+	// Observability (nil unless cfg.Obs enables it): the cycle-window
+	// sampler and typed event trace. Disabled runs pay one nil test per
+	// cycle.
+	obsrv *obsState
 }
 
 // New builds a core for the given configuration and workload suite.
@@ -162,6 +171,7 @@ func NewFromSource(cfg Config, src trace.Source, prof trace.Profile) (*Core, err
 		snoopRNG: xrand.New(cfg.Seed*7919 + uint64(prof.Suite)),
 		srlOcc:   stats.NewOccupancyTracker(),
 		counters: stats.NewCounters(),
+		obsrv:    newObsState(cfg.Obs),
 	}
 	c.res.Suite = prof.Suite
 	c.res.Design = cfg.Design
@@ -217,6 +227,7 @@ func (c *Core) newCheckpoint(startSeq uint64) *ckptState {
 	}
 	c.nextCkptID++
 	c.ckpts = append(c.ckpts, ck)
+	c.obsEvent(obs.EvCheckpointCreate, uint64(ck.id))
 	return ck
 }
 
@@ -311,10 +322,11 @@ func (c *Core) SetSnoopSink(sink func(addr uint64)) { c.snoopSink = sink }
 // a hit is a multiprocessor ordering violation and execution restarts from
 // the hit load's checkpoint (Section 3).
 func (c *Core) ExternalSnoop(addr uint64) {
-	c.counters.Inc("snoops_external")
+	c.metrics.Inc(obs.MetricSnoopsExternal)
 	c.mem.Snoop(addr)
 	if v, found := c.ldbuf.SnoopCheck(addr); found {
 		c.res.SnoopViolations++
+		c.obsEvent(obs.EvSnoopViolation, addr)
 		c.restart(v.Ckpt, c.cfg.MispredictPenalty)
 	}
 }
@@ -324,11 +336,15 @@ func (c *Core) resetStats() {
 	c.res = Results{Suite: saved.Suite, Design: saved.Design}
 	c.srlOcc = stats.NewOccupancyTracker()
 	c.srlOcc.Set(c.cycle, uint64(c.srlLen()))
+	c.metrics = obs.MetricSet{}
 	c.counters = stats.NewCounters()
 	c.statsResetAt = c.cycle
 	c.committedAtReset = c.committed
 	// Structure activity counters are cumulative; snapshot baselines.
 	c.actBase = c.snapshotActivity()
+	if c.obsrv != nil {
+		c.obsRebaseline()
+	}
 }
 
 func (c *Core) srlLen() int {
@@ -341,8 +357,11 @@ func (c *Core) srlLen() int {
 // step advances the machine by one cycle.
 func (c *Core) step() {
 	c.cycle++
+	if c.obsrv != nil && c.cycle >= c.obsrv.nextSample {
+		c.obsSample()
+	}
 	if c.outstandingMisses > 0 {
-		c.counters.Inc("cycles_miss_outstanding")
+		c.metrics.Inc(obs.MetricCyclesMissOutstanding)
 	}
 	if debugInvariants && c.cycle%5000 == 0 {
 		actual := 0
@@ -357,9 +376,9 @@ func (c *Core) step() {
 		}
 	}
 	if c.srl != nil && !c.srl.Empty() {
-		c.counters.Inc("cycles_srl_nonempty")
+		c.metrics.Inc(obs.MetricCyclesSRLNonEmpty)
 		if c.srl.Head().DataReady {
-			c.counters.Inc("cycles_srl_head_ready")
+			c.metrics.Inc(obs.MetricCyclesSRLHeadReady)
 		}
 	}
 	if debugInvariants && c.win.len() > 0 && c.win.at(0).u.Seq < c.ckpts[0].startSeq {
@@ -391,7 +410,9 @@ func (c *Core) finalize() {
 	c.res.Uops = c.committed - c.committedAtReset
 	c.srlOcc.Finish(c.cycle)
 	c.res.SRLOccupancy = c.srlOcc
+	c.res.Metrics = c.metrics
 	c.res.Counters = c.counters
+	c.obsFinalize()
 	act := c.snapshotActivity()
 	c.res.CamSearches = act.camSearches - c.actBase.camSearches
 	c.res.CamEntryOps = act.camEntryOps - c.actBase.camEntryOps

@@ -91,7 +91,7 @@ func TestSnoopsOffMeansNoSnoopViolations(t *testing.T) {
 	if res.SnoopViolations != 0 {
 		t.Fatalf("snoop violations with snoops disabled: %d", res.SnoopViolations)
 	}
-	if res.Counters.Get("snoops_injected") != 0 {
+	if res.Extra("snoops_injected") != 0 {
 		t.Fatal("snoops injected while disabled")
 	}
 }
@@ -100,7 +100,7 @@ func TestSnoopsOnServerProduceViolations(t *testing.T) {
 	cfg := shortCfg(DesignSRL)
 	cfg.RunUops = 60_000
 	res := run(t, cfg, trace.SERVER)
-	if res.Counters.Get("snoops_injected") == 0 {
+	if res.Extra("snoops_injected") == 0 {
 		t.Fatal("SERVER suite injected no snoops")
 	}
 }
@@ -268,7 +268,7 @@ func TestFilteredSTQRuns(t *testing.T) {
 	if res.RedoneStores != 0 {
 		t.Fatal("filtered design has no redo machinery")
 	}
-	if res.Counters.Get("filtered_searches_saved") == 0 {
+	if res.Extra("filtered_searches_saved") == 0 {
 		t.Fatal("the membership filter never saved a search")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"srlproc/internal/cachesim"
 	"srlproc/internal/isa"
 	"srlproc/internal/lsq"
+	"srlproc/internal/obs"
 )
 
 // cachesimSpecResult aliases the cache's speculative-write result.
@@ -125,7 +126,7 @@ func (c *Core) executeLoad(d *dynUop) {
 	var sr lsq.SearchResult
 	if c.cfg.Design == DesignFilteredSTQ && !c.mtb.MightContain(d.u.Addr) &&
 		(c.unknownAddrStores == 0 || !c.mdp.DependentOnAny(d.u.PC)) {
-		c.counters.Inc("filtered_searches_saved")
+		c.metrics.Inc(obs.MetricFilteredSearchesSaved)
 	} else {
 		sr = c.l1stq.Search(d.u.Addr, d.u.Size, d.u.Seq)
 	}
@@ -273,7 +274,7 @@ func (c *Core) retrySRLStalled() {
 	if len(c.srlStalled) == 0 {
 		return
 	}
-	c.counters.Add("srl_stall_load_cycles", uint64(len(c.srlStalled)))
+	c.metrics.Add(obs.MetricSRLStallLoadCycles, uint64(len(c.srlStalled)))
 	// Stalled loads wake as drains release them; the wait buffer can wake
 	// several per cycle (they re-enter through the cache port pipeline).
 	budget := 4 * c.cfg.LoadPorts
@@ -343,19 +344,19 @@ func (c *Core) accessCacheForLoad(d *dynUop) {
 		// return re-enters through slice reinsertion.
 		switch {
 		case d.u.Addr >= 0x8000_0000:
-			c.counters.Inc("miss_region_stream")
+			c.metrics.Inc(obs.MetricMissRegionStream)
 		case d.u.Addr >= 0x4000_0000:
-			c.counters.Inc("miss_region_heap")
+			c.metrics.Inc(obs.MetricMissRegionHeap)
 		default:
-			c.counters.Inc("miss_region_hot")
+			c.metrics.Inc(obs.MetricMissRegionHot)
 			if debugInvariants {
 				c.counters.Inc("hotmiss_pre_" + preState)
 			}
 		}
 		if res.Done-c.cycle > 700 {
-			c.counters.Inc("poison_new_miss")
+			c.metrics.Inc(obs.MetricPoisonNewMiss)
 		} else {
-			c.counters.Inc("poison_merged")
+			c.metrics.Inc(obs.MetricPoisonMerged)
 		}
 		d.missReturn = res.Done
 		c.outstandingMisses++
@@ -512,7 +513,7 @@ func (c *Core) tempUpdateDataCacheReady(h *lsq.StoreEntry) bool {
 	if ps != "l1" {
 		// Fetch the block before the temporary update can be applied.
 		c.mem.Access(c.cycle, h.Addr, false)
-		c.counters.Inc("temp_update_fetch_stalls")
+		c.metrics.Inc(obs.MetricTempUpdateFetchStalls)
 		return false
 	}
 	// One version of a block per checkpoint: a temporary update to a block
@@ -524,7 +525,7 @@ func (c *Core) tempUpdateDataCacheReady(h *lsq.StoreEntry) bool {
 			c.mem.L1.CommitSpec(sw.OwnerCkpt)
 			return true
 		}
-		c.counters.Inc("temp_update_version_stalls")
+		c.metrics.Inc(obs.MetricTempUpdateVersionStalls)
 		c.tempUpdateStall = c.cycle + 2
 		return false
 	}
@@ -543,11 +544,11 @@ func (c *Core) tempUpdateDataCache(h *lsq.StoreEntry) {
 	if sw.NeededWriteback {
 		// The pre-update writeback consumes the cache write port: delay
 		// subsequent store processing by holding the drain a cycle.
-		c.counters.Inc("spec_writebacks")
+		c.metrics.Inc(obs.MetricSpecWritebacks)
 		c.tempUpdateStall = c.cycle + c.cfg.L2STQLatency
 	}
 	if sw.Conflict {
-		c.counters.Inc("spec_conflicts")
+		c.metrics.Inc(obs.MetricSpecConflicts)
 		c.tempUpdateStall = c.cycle + c.cfg.L2STQLatency
 	}
 }
@@ -580,11 +581,11 @@ func (c *Core) drainSRLHead() {
 			return
 		}
 		if !h.DataReady {
-			c.counters.Inc("srl_drain_wait_data")
+			c.metrics.Inc(obs.MetricSRLDrainWaitData)
 			return // miss-dependent store not yet re-executed
 		}
 		if c.cfg.UseWARTracker && !c.order.AllLoadsOlderThanDone(h.Seq) {
-			c.counters.Inc("srl_drain_wait_war")
+			c.metrics.Inc(obs.MetricSRLDrainWaitWAR)
 			return // prior loads must read the pre-store memory image first
 		}
 		if h.Seq <= c.lastCommittedSeq {
@@ -602,12 +603,12 @@ func (c *Core) drainSRLHead() {
 				// committed data was written back before the temporary
 				// overwrite, so nothing is lost).
 				c.mem.L1.Invalidate(h.Addr)
-				c.counters.Inc("srl_drain_temp_discards")
+				c.metrics.Inc(obs.MetricSRLDrainTempDiscards)
 				sw = c.mem.L1.SpecWrite(h.Addr, h.Ckpt, false)
 			}
 			if sw.Conflict {
-				c.counters.Inc("srl_drain_spec_conflicts")
-				if debugInvariants && c.counters.Get("srl_drain_spec_conflicts") == 2000 {
+				c.metrics.Inc(obs.MetricSRLDrainSpecConflicts)
+				if debugInvariants && c.metrics.Get(obs.MetricSRLDrainSpecConflicts) == 2000 {
 					debugTrace("spec conflict cyc=%d head seq=%d ckpt=%d owner=%d ownerLive=%v oldest=%d lastCommit=%d",
 						c.cycle, h.Seq, h.Ckpt, sw.OwnerCkpt, c.findCkpt(sw.OwnerCkpt) != nil, c.oldestCkptID(), c.lastCommittedSeq)
 					ck0 := c.ckpts[0]
@@ -645,10 +646,14 @@ func (c *Core) drainSRLHead() {
 		}
 		c.srl.PopHead()
 		if c.srl.Empty() {
+			if c.redoActive {
+				c.obsEvent(obs.EvRedoEnd, 0)
+			}
 			c.redoActive = false
 		}
 		if v, found := c.ldbuf.StoreCheck(addr, size, storeIdx); found {
 			c.res.MemDepViolations++
+			c.obsEvent(obs.EvMemDepViolation, addr)
 			c.restart(v.Ckpt, c.cfg.MispredictPenalty)
 			return
 		}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"srlproc/internal/obs"
+	"srlproc/internal/trace"
+)
+
+func obsTestConfig() Config {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 4_000
+	cfg.RunUops = 25_000
+	return cfg
+}
+
+func runObs(t testing.TB, cfg Config) *Results {
+	t.Helper()
+	c, err := New(cfg, trace.SFP2K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestObservabilityDisabledByDefault: a zero Config.Obs run must produce
+// no timeline or trace, but still fill the typed metric set.
+func TestObservabilityDisabledByDefault(t *testing.T) {
+	res := runObs(t, obsTestConfig())
+	if res.Timeline != nil || res.Trace != nil {
+		t.Fatalf("unobserved run grew observability artefacts: %v %v", res.Timeline, res.Trace)
+	}
+	if res.Metric(obs.MetricCyclesMissOutstanding) == 0 {
+		t.Fatal("typed metrics not collected")
+	}
+}
+
+// TestObservedRunMatchesUnobserved: attaching the sampler and trace must
+// not perturb the simulation itself.
+func TestObservedRunMatchesUnobserved(t *testing.T) {
+	plain := runObs(t, obsTestConfig())
+	cfg := obsTestConfig()
+	cfg.Obs = obs.DefaultConfig()
+	cfg.Obs.SampleEvery = 512
+	observed := runObs(t, cfg)
+	if plain.Cycles != observed.Cycles || plain.Uops != observed.Uops || plain.Restarts != observed.Restarts {
+		t.Fatalf("observation perturbed the run: %d/%d/%d vs %d/%d/%d",
+			plain.Cycles, plain.Uops, plain.Restarts, observed.Cycles, observed.Uops, observed.Restarts)
+	}
+}
+
+// TestTimelineAndTraceContents sanity-checks what an observed run records.
+func TestTimelineAndTraceContents(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Obs = obs.DefaultConfig()
+	cfg.Obs.SampleEvery = 512
+	res := runObs(t, cfg)
+
+	if res.Timeline == nil || res.Timeline.Len() == 0 {
+		t.Fatal("no timeline")
+	}
+	samples := res.Timeline.Samples()
+	var uops uint64
+	prevCycle := uint64(0)
+	for _, s := range samples {
+		if s.Cycle <= prevCycle {
+			t.Fatalf("samples not strictly increasing: %d after %d", s.Cycle, prevCycle)
+		}
+		prevCycle = s.Cycle
+		uops += s.Uops
+	}
+	// Window uop counts cover the whole run (warmup boundary lands on a
+	// checkpoint commit, so the exact total varies slightly) — they must at
+	// least cover the measured region.
+	if uops < res.Uops {
+		t.Fatalf("timeline uops %d < measured %d", uops, res.Uops)
+	}
+
+	if res.Trace == nil || res.Trace.Len() == 0 {
+		t.Fatal("no trace")
+	}
+	if res.Trace.Count(obs.EvCheckpointCreate) == 0 {
+		t.Fatal("no checkpoint events")
+	}
+	if got, want := res.Trace.Count(obs.EvRedoStart), res.Trace.Count(obs.EvRedoEnd); got != want {
+		t.Fatalf("unbalanced redo episodes: %d starts, %d ends", got, want)
+	}
+	// The trace spans warmup too, while Results.Restarts is reset at the
+	// measurement boundary — so the event count must dominate.
+	if got := res.Trace.Count(obs.EvRestart); got < res.Restarts {
+		t.Fatalf("restart events %d < Results.Restarts %d", got, res.Restarts)
+	}
+}
+
+// TestResultsJSONRoundTrip: the full Results document must marshal and
+// round-trip through generic JSON with its derived figures present.
+func TestResultsJSONRoundTrip(t *testing.T) {
+	cfg := obsTestConfig()
+	cfg.Obs = obs.DefaultConfig()
+	res := runObs(t, cfg)
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("Results JSON does not round-trip: %v", err)
+	}
+	for _, key := range []string{"suite", "design", "cycles", "uops", "ipc", "pctRedoneStores", "metrics", "timeline", "trace"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("Results JSON missing %q: %v", key, doc)
+		}
+	}
+	if doc["suite"] != "SFP2K" || doc["design"] != "SRL" {
+		t.Fatalf("enum keys not named: suite=%v design=%v", doc["suite"], doc["design"])
+	}
+	if doc["ipc"].(float64) != res.IPC() {
+		t.Fatalf("derived ipc mismatch: %v vs %v", doc["ipc"], res.IPC())
+	}
+}
+
+// benchCycles runs a fixed-size simulation for benchmarking the cycle
+// loop; b.N scales repetition, not run length, so per-op cost is stable.
+func benchCycleLoop(b *testing.B, cfg Config) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1) // dodge the process-unrelated memo layers
+		res := runObs(b, cfg)
+		b.ReportMetric(float64(res.Cycles), "cycles/run")
+	}
+}
+
+// BenchmarkCycleLoopObsOff measures the cycle loop with observability
+// disabled — the configuration every performance-sensitive caller runs.
+// Compare with BenchmarkCycleLoopObsOn to bound the observability tax:
+//
+//	go test ./internal/core -bench CycleLoopObs -benchtime 5x
+func BenchmarkCycleLoopObsOff(b *testing.B) {
+	benchCycleLoop(b, obsTestConfig())
+}
+
+// BenchmarkCycleLoopObsOn measures the same run with the sampler and
+// event trace enabled.
+func BenchmarkCycleLoopObsOn(b *testing.B) {
+	cfg := obsTestConfig()
+	cfg.Obs = obs.DefaultConfig()
+	benchCycleLoop(b, cfg)
+}

@@ -1,6 +1,9 @@
 package core
 
-import "srlproc/internal/isa"
+import (
+	"srlproc/internal/isa"
+	"srlproc/internal/obs"
+)
 
 // restart implements CPR checkpoint recovery: execution rolls back to the
 // start of the checkpoint with id ckptID (the violating load's or
@@ -29,6 +32,7 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 		}
 	}
 	c.res.Restarts++
+	c.obsEvent(obs.EvRestart, uint64(ck.id))
 	if c.win.len() > pos {
 		c.res.ReplayedUops += uint64(c.win.len() - pos)
 	}
@@ -116,6 +120,9 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 			}
 		}
 		if c.srl.Empty() {
+			if c.redoActive {
+				c.obsEvent(obs.EvRedoEnd, 0)
+			}
 			c.redoActive = false
 		}
 	}
@@ -189,10 +196,11 @@ func (c *Core) injectSnoops() {
 		// A random heap line (usually misses everything).
 		addr = 0x4000_0000 + c.snoopRNG.Uint64n(1<<20)*isa.CacheLineSize
 	}
-	c.counters.Inc("snoops_injected")
+	c.metrics.Inc(obs.MetricSnoopsInjected)
 	c.mem.Snoop(addr)
 	if v, found := c.ldbuf.SnoopCheck(addr); found {
 		c.res.SnoopViolations++
+		c.obsEvent(obs.EvSnoopViolation, addr)
 		c.restart(v.Ckpt, c.cfg.MispredictPenalty)
 	}
 }

@@ -1,80 +1,141 @@
 package core
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
+	"sort"
 	"strings"
 
+	"srlproc/internal/obs"
 	"srlproc/internal/stats"
 	"srlproc/internal/trace"
 )
 
 // Results holds everything one simulation run reports.
 type Results struct {
-	Suite  trace.Suite
-	Design StoreDesign
+	Suite  trace.Suite `json:"suite"`
+	Design StoreDesign `json:"design"`
 
-	Cycles uint64
-	Uops   uint64 // committed micro-ops in the measured region
-	Loads  uint64
-	Stores uint64
+	Cycles uint64 `json:"cycles"`
+	Uops   uint64 `json:"uops"` // committed micro-ops in the measured region
+	Loads  uint64 `json:"loads"`
+	Stores uint64 `json:"stores"`
 
 	// CFP / slice statistics (Table 3 inputs).
-	MissDependentUops   uint64 // uops that drained to the SDB at least once
-	MissDependentStores uint64
-	RedoneStores        uint64 // stores drained from the SRL
-	SRLLoadStalls       uint64 // loads stalled on a possible SRL match
-	IndexedForwards     uint64
+	MissDependentUops   uint64 `json:"missDependentUops"` // uops that drained to the SDB at least once
+	MissDependentStores uint64 `json:"missDependentStores"`
+	RedoneStores        uint64 `json:"redoneStores"`  // stores drained from the SRL
+	SRLLoadStalls       uint64 `json:"srlLoadStalls"` // loads stalled on a possible SRL match
+	IndexedForwards     uint64 `json:"indexedForwards"`
 
 	// Forwarding sources.
-	L1STQForwards uint64
-	L2STQForwards uint64
-	FCForwards    uint64
+	L1STQForwards uint64 `json:"l1stqForwards"`
+	L2STQForwards uint64 `json:"l2stqForwards"`
+	FCForwards    uint64 `json:"fcForwards"`
 
 	// Violations and restarts.
-	MemDepViolations   uint64
-	SnoopViolations    uint64
-	OverflowViolations uint64
-	BranchMispredicts  uint64
-	Restarts           uint64
-	ReplayedUops       uint64
+	MemDepViolations   uint64 `json:"memDepViolations"`
+	SnoopViolations    uint64 `json:"snoopViolations"`
+	OverflowViolations uint64 `json:"overflowViolations"`
+	BranchMispredicts  uint64 `json:"branchMispredicts"`
+	Restarts           uint64 `json:"restarts"`
+	ReplayedUops       uint64 `json:"replayedUops"`
 
 	// Memory system.
-	L1Misses     uint64
-	L2Misses     uint64
-	MemAccesses  uint64
-	Writebacks   uint64
-	SpecDiscards uint64 // data-cache temporary updates discarded (§6.5 variant)
+	L1Misses     uint64 `json:"l1Misses"`
+	L2Misses     uint64 `json:"l2Misses"`
+	MemAccesses  uint64 `json:"memAccesses"`
+	Writebacks   uint64 `json:"writebacks"`
+	SpecDiscards uint64 `json:"specDiscards"` // data-cache temporary updates discarded (§6.5 variant)
 
 	// Stall accounting (allocation stall cycles by cause).
-	StallSTQ    uint64
-	StallLQ     uint64
-	StallSched  uint64
-	StallRegs   uint64
-	StallCkpt   uint64
-	StallWindow uint64
-	StallSDB    uint64
+	StallSTQ    uint64 `json:"stallSTQ"`
+	StallLQ     uint64 `json:"stallLQ"`
+	StallSched  uint64 `json:"stallSched"`
+	StallRegs   uint64 `json:"stallRegs"`
+	StallCkpt   uint64 `json:"stallCkpt"`
+	StallWindow uint64 `json:"stallWindow"`
+	StallSDB    uint64 `json:"stallSDB"`
 
 	// SRL occupancy (Figure 7 / Table 3 col 6).
-	SRLOccupancy *stats.OccupancyTracker
+	SRLOccupancy *stats.OccupancyTracker `json:"srlOccupancy,omitempty"`
 
 	// Structure activity for the power model.
-	CamSearches  uint64
-	CamEntryOps  uint64
-	LCFProbes    uint64
-	LCFNonZero   uint64
-	LCFOverflows uint64
-	FCLookups    uint64
-	FCHits       uint64
-	LBLookups    uint64
-	LBEntryCmps  uint64
-	LBOverflows  uint64
-	MTBProbes    uint64
-	MTBMaybes    uint64
-	SRLReads     uint64
-	SRLWrites    uint64
+	CamSearches  uint64 `json:"camSearches"`
+	CamEntryOps  uint64 `json:"camEntryOps"`
+	LCFProbes    uint64 `json:"lcfProbes"`
+	LCFNonZero   uint64 `json:"lcfNonZero"`
+	LCFOverflows uint64 `json:"lcfOverflows"`
+	FCLookups    uint64 `json:"fcLookups"`
+	FCHits       uint64 `json:"fcHits"`
+	LBLookups    uint64 `json:"lbLookups"`
+	LBEntryCmps  uint64 `json:"lbEntryCmps"`
+	LBOverflows  uint64 `json:"lbOverflows"`
+	MTBProbes    uint64 `json:"mtbProbes"`
+	MTBMaybes    uint64 `json:"mtbMaybes"`
+	SRLReads     uint64 `json:"srlReads"`
+	SRLWrites    uint64 `json:"srlWrites"`
 
-	// Extra counters, free-form.
-	Counters *stats.Counters
+	// Metrics holds the typed hot-path counters (see obs.Metric). Access
+	// individual values through Metric.
+	Metrics obs.MetricSet `json:"metrics"`
+
+	// Timeline is the cycle-window time-series, non-nil only when the run
+	// was configured with Config.Obs.SampleEvery > 0.
+	Timeline *obs.Timeline `json:"timeline,omitempty"`
+
+	// Trace is the typed event trace, non-nil only when the run was
+	// configured with Config.Obs.TraceEvents. Its JSON form is a summary;
+	// export the full stream with Trace.WriteJSONL or Trace.WriteChromeTrace.
+	Trace *obs.TraceWriter `json:"trace,omitempty"`
+
+	// Counters holds free-form extra counters.
+	//
+	// Deprecated: hot-path counters moved to the typed Metrics set; use
+	// Metric for those and Extra/ExtraNames for anything still free-form.
+	// Direct map access remains only for backward compatibility.
+	Counters *stats.Counters `json:"extras,omitempty"`
+}
+
+// Metric returns one typed hot-path counter.
+func (r *Results) Metric(m obs.Metric) uint64 { return r.Metrics.Get(m) }
+
+// Extra returns a free-form extra counter by name. Names that correspond
+// to typed metrics (see obs.MetricByName) are answered from Metrics, so
+// callers that predate the typed set keep working.
+func (r *Results) Extra(name string) uint64 {
+	if m, ok := obs.MetricByName(name); ok {
+		return r.Metrics.Get(m)
+	}
+	if r.Counters == nil {
+		return 0
+	}
+	return r.Counters.Get(name)
+}
+
+// ExtraNames lists the names of all non-zero counters — typed metrics and
+// free-form extras — sorted.
+func (r *Results) ExtraNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, m := range obs.AllMetrics() {
+		if r.Metrics.Get(m) > 0 && !seen[m.String()] {
+			seen[m.String()] = true
+			names = append(names, m.String())
+		}
+	}
+	if r.Counters != nil {
+		for _, name := range r.Counters.Names() {
+			if r.Counters.Get(name) > 0 && !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // IPC returns committed micro-ops per cycle.
@@ -132,6 +193,63 @@ func (r *Results) PctTimeSRLOccupied() float64 {
 		return 0
 	}
 	return 100 * float64(r.SRLOccupancy.OccupiedCycles()) / float64(r.SRLOccupancy.TotalCycles())
+}
+
+// MarshalJSON renders the run as one JSON object: every raw counter plus
+// the derived figures the paper reports (ipc, percentage columns), so a
+// consumer never has to re-derive them.
+func (r *Results) MarshalJSON() ([]byte, error) {
+	type raw Results // shed the method set to avoid recursion
+	return json.Marshal(struct {
+		*raw
+		IPC                    float64 `json:"ipc"`
+		PctMissDependentUops   float64 `json:"pctMissDependentUops"`
+		PctMissDependentStores float64 `json:"pctMissDependentStores"`
+		PctRedoneStores        float64 `json:"pctRedoneStores"`
+		SRLStallsPer10K        float64 `json:"srlStallsPer10K"`
+		PctTimeSRLOccupied     float64 `json:"pctTimeSRLOccupied"`
+	}{
+		raw:                    (*raw)(r),
+		IPC:                    r.IPC(),
+		PctMissDependentUops:   r.PctMissDependentUops(),
+		PctMissDependentStores: r.PctMissDependentStores(),
+		PctRedoneStores:        r.PctRedoneStores(),
+		SRLStallsPer10K:        r.SRLStallsPer10K(),
+		PctTimeSRLOccupied:     r.PctTimeSRLOccupied(),
+	})
+}
+
+// resultsCSVHeader is the WriteCSV column set, kept beside the row writer
+// so the two cannot drift apart.
+var resultsCSVHeader = []string{
+	"suite", "design", "cycles", "uops", "ipc", "loads", "stores",
+	"miss_dep_uops", "miss_dep_stores", "redone_stores", "srl_load_stalls",
+	"fwd_l1stq", "fwd_l2stq", "fwd_fc", "fwd_indexed",
+	"memdep_violations", "snoop_violations", "overflow_violations",
+	"branch_mispredicts", "restarts", "replayed_uops",
+	"l1_misses", "l2_misses", "mem_accesses",
+	"stall_stq", "stall_lq", "stall_sched", "stall_regs", "stall_ckpt", "stall_window", "stall_sdb",
+}
+
+// WriteCSV renders the run as a two-line CSV document (header + one row).
+func (r *Results) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, h := range resultsCSVHeader {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(h)
+	}
+	bw.WriteByte('\n')
+	fmt.Fprintf(bw, "%s,%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		r.Suite, r.Design, r.Cycles, r.Uops, r.IPC(), r.Loads, r.Stores,
+		r.MissDependentUops, r.MissDependentStores, r.RedoneStores, r.SRLLoadStalls,
+		r.L1STQForwards, r.L2STQForwards, r.FCForwards, r.IndexedForwards,
+		r.MemDepViolations, r.SnoopViolations, r.OverflowViolations,
+		r.BranchMispredicts, r.Restarts, r.ReplayedUops,
+		r.L1Misses, r.L2Misses, r.MemAccesses,
+		r.StallSTQ, r.StallLQ, r.StallSched, r.StallRegs, r.StallCkpt, r.StallWindow, r.StallSDB)
+	return bw.Flush()
 }
 
 // String renders a run summary.

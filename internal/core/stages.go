@@ -5,6 +5,7 @@ import (
 
 	"srlproc/internal/isa"
 	"srlproc/internal/lsq"
+	"srlproc/internal/obs"
 )
 
 // waiter registration: consumers subscribe to producers with their epoch so
@@ -155,9 +156,9 @@ func (c *Core) drainToSDB(d *dynUop) {
 		}
 		switch {
 		case d.missReturn > 0:
-			c.counters.Inc("sdb_cause_miss_root")
+			c.metrics.Inc(obs.MetricSDBCauseMissRoot)
 		case d.memDep != nil && d.memDep.poisoned && !d.memDep.done:
-			c.counters.Inc("sdb_cause_memdep")
+			c.metrics.Inc(obs.MetricSDBCauseMemDep)
 		default:
 			c.counters.Inc("sdb_cause_poisoned_src_" + d.u.Class.String())
 		}
@@ -274,6 +275,7 @@ func (c *Core) reinsertSlice() {
 			d.fwdStoreID = lsq.NoFwd
 			c.outstandingMisses--
 			d.missReturn = 0
+			c.obsEvent(obs.EvMissReturn, d.u.Addr)
 			c.onMissReturn()
 			c.complete(d)
 			continue
@@ -318,6 +320,7 @@ func (c *Core) onMissReturn() {
 		return
 	}
 	c.redoActive = true
+	c.obsEvent(obs.EvRedoStart, uint64(c.srlLen()))
 	if c.fc != nil {
 		c.fc.DiscardAll()
 	} else {
@@ -357,6 +360,7 @@ func (c *Core) complete(d *dynUop) {
 			// Set overflow with the violate-on-overflow policy: take a
 			// memory ordering violation (Section 3).
 			c.res.OverflowViolations++
+			c.obsEvent(obs.EvOverflowViolation, d.u.Addr)
 			c.wakeWaiters(d)
 			c.restart(d.ckptID, c.cfg.MispredictPenalty)
 			return
@@ -431,6 +435,7 @@ func (c *Core) completeStore(d *dynUop) bool {
 	// expose a memory dependence violation now.
 	if v, found := c.ldbuf.StoreCheck(d.u.Addr, d.u.Size, d.storeID); found {
 		c.res.MemDepViolations++
+		c.obsEvent(obs.EvMemDepViolation, d.u.Addr)
 		c.mdp.RecordViolation(v.LoadPC, d.u.PC)
 		c.wakeWaiters(d)
 		c.restart(v.Ckpt, c.cfg.MispredictPenalty)
@@ -459,6 +464,7 @@ func (c *Core) resolveBranch(d *dynUop) {
 	d.brResolved = true
 	if d.predTaken != d.u.Taken {
 		c.res.BranchMispredicts++
+		c.obsEvent(obs.EvBranchMispredict, d.u.PC)
 		c.restart(d.ckptID, c.cfg.MispredictPenalty)
 	}
 }
@@ -473,6 +479,7 @@ func (c *Core) commitCheckpoints() {
 		}
 		// Bulk commit (CPR commits a checkpoint instantaneously once its
 		// completion counter reaches zero).
+		c.obsEvent(obs.EvCheckpointCommit, uint64(ck.id))
 		endSeq := ck.startSeq + uint64(ck.uops) - 1
 		c.lastCommittedSeq = endSeq
 		for c.win.len() > 0 && c.win.at(0).u.Seq <= endSeq {
@@ -642,11 +649,11 @@ func (c *Core) allocate() {
 		}
 		if d.isStore() && !c.allocStoreEntry(d, ck.id) {
 			if c.srlMode() {
-				c.counters.Inc("stq_stall_srlmode")
+				c.metrics.Inc(obs.MetricSTQStallSRLMode)
 			} else if c.outstandingMisses > 0 {
-				c.counters.Inc("stq_stall_missmode")
+				c.metrics.Inc(obs.MetricSTQStallMissMode)
 			} else {
-				c.counters.Inc("stq_stall_quiet")
+				c.metrics.Inc(obs.MetricSTQStallQuiet)
 			}
 			c.maybeCloseCkptOnStall()
 			return

@@ -1,0 +1,180 @@
+// Package obs is the simulator's observability layer: typed metric keys
+// replacing free-form string counters on the cycle-loop hot path, a
+// cycle-window time-series sampler (IPC, structure occupancy, stall causes,
+// forwarding mix), and a typed event trace with a Chrome trace-format
+// exporter, so runs open in chrome://tracing or Perfetto.
+//
+// Everything here is designed to be nil-cost when disabled: the core holds
+// one pointer that is nil for unobserved runs, metric increments are array
+// indexing (no map, no allocation), and no per-cycle work happens beyond a
+// single comparison.
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric is a typed key for one hot-path event counter. Using a dense enum
+// instead of string keys keeps counting allocation-free (a fixed array
+// increment) and makes the set of metrics a simulator version exports part
+// of its API rather than an emergent property of its printf calls.
+type Metric uint8
+
+// The typed hot-path metrics. The name table below defines the stable
+// machine-readable identifier of each; String returns it.
+const (
+	// Coherence traffic.
+	MetricSnoopsInjected Metric = iota // synthetic external snoops injected
+	MetricSnoopsExternal               // snoops delivered via ExternalSnoop (multicore)
+
+	// Cycle-occupancy conditions (incremented at most once per cycle).
+	MetricCyclesMissOutstanding // cycles with >=1 long-latency miss in flight
+	MetricCyclesSRLNonEmpty     // cycles the SRL held at least one store
+	MetricCyclesSRLHeadReady    // cycles the SRL head had its data ready
+
+	// Miss classification.
+	MetricMissRegionStream // long-latency misses to the streaming region
+	MetricMissRegionHeap   // long-latency misses to the heap region
+	MetricMissRegionHot    // long-latency misses to the hot region
+	MetricPoisonNewMiss    // poisons that opened a new memory-level miss
+	MetricPoisonMerged     // poisons merged into an outstanding miss
+
+	// Slice (CFP) drain causes.
+	MetricSDBCauseMissRoot // uops drained as the miss root itself
+	MetricSDBCauseMemDep   // uops drained behind a poisoned store dependence
+
+	// Store-queue allocation stalls by machine mode.
+	MetricSTQStallSRLMode  // allocation stalled on the STQ during SRL mode
+	MetricSTQStallMissMode // stalled with a miss outstanding, SRL empty
+	MetricSTQStallQuiet    // stalled with no miss in flight
+
+	// SRL drain gating and conflicts.
+	MetricSRLDrainWaitData      // head not drained: data not yet re-executed
+	MetricSRLDrainWaitWAR       // head not drained: older loads unfinished
+	MetricSRLDrainTempDiscards  // stale temporary updates discarded by redo
+	MetricSRLDrainSpecConflicts // one-version speculative write conflicts
+	MetricSRLStallLoadCycles    // load-cycles spent stalled on the SRL
+
+	// §6.5 data-cache temporary-update variant.
+	MetricTempUpdateFetchStalls   // store processing held for a line fetch
+	MetricTempUpdateVersionStalls // held for a conflicting version writeback
+	MetricSpecWritebacks          // dirty blocks written back before a temp update
+	MetricSpecConflicts           // temp updates lost to one-version conflicts
+
+	// Related-work filtered store queue.
+	MetricFilteredSearchesSaved // CAM searches skipped by the membership filter
+
+	// NumMetrics bounds the enum; it must stay last.
+	NumMetrics
+)
+
+// metricNames is the stable name table. Names keep the snake_case spelling
+// the free-form counters used, so existing output consumers keep working.
+var metricNames = [NumMetrics]string{
+	MetricSnoopsInjected:          "snoops_injected",
+	MetricSnoopsExternal:          "snoops_external",
+	MetricCyclesMissOutstanding:   "cycles_miss_outstanding",
+	MetricCyclesSRLNonEmpty:       "cycles_srl_nonempty",
+	MetricCyclesSRLHeadReady:      "cycles_srl_head_ready",
+	MetricMissRegionStream:        "miss_region_stream",
+	MetricMissRegionHeap:          "miss_region_heap",
+	MetricMissRegionHot:           "miss_region_hot",
+	MetricPoisonNewMiss:           "poison_new_miss",
+	MetricPoisonMerged:            "poison_merged",
+	MetricSDBCauseMissRoot:        "sdb_cause_miss_root",
+	MetricSDBCauseMemDep:          "sdb_cause_memdep",
+	MetricSTQStallSRLMode:         "stq_stall_srlmode",
+	MetricSTQStallMissMode:        "stq_stall_missmode",
+	MetricSTQStallQuiet:           "stq_stall_quiet",
+	MetricSRLDrainWaitData:        "srl_drain_wait_data",
+	MetricSRLDrainWaitWAR:         "srl_drain_wait_war",
+	MetricSRLDrainTempDiscards:    "srl_drain_temp_discards",
+	MetricSRLDrainSpecConflicts:   "srl_drain_spec_conflicts",
+	MetricSRLStallLoadCycles:      "srl_stall_load_cycles",
+	MetricTempUpdateFetchStalls:   "temp_update_fetch_stalls",
+	MetricTempUpdateVersionStalls: "temp_update_version_stalls",
+	MetricSpecWritebacks:          "spec_writebacks",
+	MetricSpecConflicts:           "spec_conflicts",
+	MetricFilteredSearchesSaved:   "filtered_searches_saved",
+}
+
+// String returns the metric's stable machine-readable name.
+func (m Metric) String() string {
+	if m < NumMetrics {
+		return metricNames[m]
+	}
+	return fmt.Sprintf("metric(%d)", uint8(m))
+}
+
+// MetricByName resolves a stable name back to its Metric key.
+func MetricByName(name string) (Metric, bool) {
+	for m, n := range metricNames {
+		if n == name {
+			return Metric(m), true
+		}
+	}
+	return 0, false
+}
+
+// AllMetrics lists every typed metric in declaration order.
+func AllMetrics() []Metric {
+	out := make([]Metric, NumMetrics)
+	for i := range out {
+		out[i] = Metric(i)
+	}
+	return out
+}
+
+// MetricSet is a fixed, allocation-free set of typed counters. The zero
+// value is ready to use; incrementing is a single array-indexed add, which
+// is what lets the cycle loop count events with no map hashing and no
+// per-cycle allocation.
+type MetricSet [NumMetrics]uint64
+
+// Inc increments metric m by one.
+func (s *MetricSet) Inc(m Metric) { s[m]++ }
+
+// Add increments metric m by delta.
+func (s *MetricSet) Add(m Metric, delta uint64) { s[m] += delta }
+
+// Get returns the current value of metric m.
+func (s *MetricSet) Get(m Metric) uint64 { return s[m] }
+
+// NonZero returns the metrics with non-zero values, in declaration order.
+func (s *MetricSet) NonZero() []Metric {
+	var out []Metric
+	for i, v := range s {
+		if v != 0 {
+			out = append(out, Metric(i))
+		}
+	}
+	return out
+}
+
+// String renders the non-zero metrics one per line, aligned like
+// stats.Counters output.
+func (s *MetricSet) String() string {
+	var b strings.Builder
+	for _, m := range s.NonZero() {
+		fmt.Fprintf(&b, "%-40s %d\n", m.String(), s[m])
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the non-zero metrics as a name→value object in
+// declaration order.
+func (s *MetricSet) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, m := range s.NonZero() {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%d", m.String(), s[m])
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}

@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// StallBreakdown is the allocation-stall accounting of one sampling window:
+// cycles the front end could not allocate, by cause.
+type StallBreakdown struct {
+	STQ    uint64 `json:"stq"`
+	LQ     uint64 `json:"lq"`
+	Sched  uint64 `json:"sched"`
+	Regs   uint64 `json:"regs"`
+	Ckpt   uint64 `json:"ckpt"`
+	Window uint64 `json:"window"`
+	SDB    uint64 `json:"sdb"`
+}
+
+// Sub returns the per-window delta s - base, saturating at zero so a stats
+// reset between snapshots cannot underflow.
+func (s StallBreakdown) Sub(base StallBreakdown) StallBreakdown {
+	return StallBreakdown{
+		STQ:    satSub(s.STQ, base.STQ),
+		LQ:     satSub(s.LQ, base.LQ),
+		Sched:  satSub(s.Sched, base.Sched),
+		Regs:   satSub(s.Regs, base.Regs),
+		Ckpt:   satSub(s.Ckpt, base.Ckpt),
+		Window: satSub(s.Window, base.Window),
+		SDB:    satSub(s.SDB, base.SDB),
+	}
+}
+
+// ForwardMix is the store-to-load forwarding source mix of one window.
+type ForwardMix struct {
+	L1STQ   uint64 `json:"l1stq"`
+	L2STQ   uint64 `json:"l2stq"`
+	FC      uint64 `json:"fc"`
+	Indexed uint64 `json:"indexed"`
+}
+
+// Sub returns the per-window delta m - base, saturating at zero.
+func (m ForwardMix) Sub(base ForwardMix) ForwardMix {
+	return ForwardMix{
+		L1STQ:   satSub(m.L1STQ, base.L1STQ),
+		L2STQ:   satSub(m.L2STQ, base.L2STQ),
+		FC:      satSub(m.FC, base.FC),
+		Indexed: satSub(m.Indexed, base.Indexed),
+	}
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// Sample is one cycle-window snapshot of the machine: window-relative
+// rates (uops, IPC, stalls, forwards, restarts) plus instantaneous
+// structure occupancies at the window's closing cycle.
+type Sample struct {
+	// Cycle is the window's closing cycle (the sample time).
+	Cycle uint64 `json:"cycle"`
+	// Measuring is false for warmup-region samples.
+	Measuring bool `json:"measuring"`
+
+	// Window-relative throughput.
+	Uops uint64  `json:"uops"` // committed in this window
+	IPC  float64 `json:"ipc"`
+
+	// Instantaneous occupancies.
+	SRLOcc     int `json:"srlOcc"`
+	STQOcc     int `json:"stqOcc"`   // L1 STQ
+	L2STQOcc   int `json:"l2stqOcc"` // hierarchical design only
+	LoadBufOcc int `json:"loadBufOcc"`
+	WindowOcc  int `json:"windowOcc"` // in-flight window population
+	SDBOcc     int `json:"sdbOcc"`
+	Ckpts      int `json:"ckpts"` // live checkpoints
+
+	// Machine mode at the sample cycle.
+	OutstandingMisses int  `json:"outstandingMisses"`
+	RedoActive        bool `json:"redoActive"`
+
+	// Window-relative event rates.
+	Stalls   StallBreakdown `json:"stalls"`
+	Forwards ForwardMix     `json:"forwards"`
+	Restarts uint64         `json:"restarts"`
+}
+
+// Timeline is the run's in-memory time-series: a bounded ring of Samples
+// in chronological order. Appending to a full ring evicts the oldest
+// sample and counts it in Dropped, so a very long run keeps its most
+// recent history instead of growing without bound.
+type Timeline struct {
+	sampleEvery uint64
+	samples     []Sample
+	start       int // index of the oldest sample
+	count       int
+	dropped     int
+}
+
+// NewTimeline creates a timeline sampling every sampleEvery cycles with a
+// ring of cap samples.
+func NewTimeline(sampleEvery uint64, cap int) *Timeline {
+	if cap <= 0 {
+		cap = DefaultTimelineCap
+	}
+	return &Timeline{sampleEvery: sampleEvery, samples: make([]Sample, 0, cap)}
+}
+
+// SampleEvery returns the configured cycle-window width.
+func (t *Timeline) SampleEvery() uint64 { return t.sampleEvery }
+
+// Len returns the number of retained samples.
+func (t *Timeline) Len() int { return t.count }
+
+// Dropped returns how many old samples the ring evicted.
+func (t *Timeline) Dropped() int { return t.dropped }
+
+// Append adds one sample, evicting the oldest if the ring is full.
+func (t *Timeline) Append(s Sample) {
+	if t.count < cap(t.samples) {
+		t.samples = append(t.samples, s)
+		t.count++
+		return
+	}
+	t.samples[t.start] = s
+	t.start = (t.start + 1) % len(t.samples)
+	t.dropped++
+}
+
+// Samples returns the retained samples in chronological order (a copy).
+func (t *Timeline) Samples() []Sample {
+	out := make([]Sample, t.count)
+	for i := 0; i < t.count; i++ {
+		out[i] = t.samples[(t.start+i)%len(t.samples)]
+	}
+	return out
+}
+
+// Last returns the most recent sample, or a zero Sample if empty.
+func (t *Timeline) Last() Sample {
+	if t.count == 0 {
+		return Sample{}
+	}
+	return t.samples[(t.start+t.count-1)%len(t.samples)]
+}
+
+// timelineHeader is the CSV column set, kept in one place so the header
+// and the row writer cannot drift apart.
+var timelineHeader = []string{
+	"cycle", "measuring", "uops", "ipc",
+	"srl_occ", "stq_occ", "l2stq_occ", "loadbuf_occ", "window_occ", "sdb_occ", "ckpts",
+	"outstanding_misses", "redo_active",
+	"stall_stq", "stall_lq", "stall_sched", "stall_regs", "stall_ckpt", "stall_window", "stall_sdb",
+	"fwd_l1stq", "fwd_l2stq", "fwd_fc", "fwd_indexed",
+	"restarts",
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WriteCSV renders the timeline as CSV: one header row, one row per
+// sample, chronological.
+func (t *Timeline) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, h := range timelineHeader {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(h)
+	}
+	bw.WriteByte('\n')
+	for _, s := range t.Samples() {
+		fmt.Fprintf(bw, "%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			s.Cycle, b2i(s.Measuring), s.Uops, s.IPC,
+			s.SRLOcc, s.STQOcc, s.L2STQOcc, s.LoadBufOcc, s.WindowOcc, s.SDBOcc, s.Ckpts,
+			s.OutstandingMisses, b2i(s.RedoActive),
+			s.Stalls.STQ, s.Stalls.LQ, s.Stalls.Sched, s.Stalls.Regs, s.Stalls.Ckpt, s.Stalls.Window, s.Stalls.SDB,
+			s.Forwards.L1STQ, s.Forwards.L2STQ, s.Forwards.FC, s.Forwards.Indexed,
+			s.Restarts)
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL renders the timeline as JSON Lines: one Sample object per
+// line, chronological.
+func (t *Timeline) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Samples() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalJSON renders the whole timeline as one object: the window width,
+// eviction count and the retained samples.
+func (t *Timeline) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		SampleEvery uint64   `json:"sampleEvery"`
+		Dropped     int      `json:"dropped"`
+		Samples     []Sample `json:"samples"`
+	}{t.sampleEvery, t.dropped, t.Samples()})
+}

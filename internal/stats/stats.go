@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,6 +49,11 @@ func (c *Counters) String() string {
 		fmt.Fprintf(&b, "%-40s %d\n", n, c.m[n])
 	}
 	return b.String()
+}
+
+// MarshalJSON renders the counters as a name→value object.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.m)
 }
 
 // Histogram is a fixed-bucket histogram over non-negative integer samples.
@@ -103,10 +109,21 @@ func (h *Histogram) Mean() float64 {
 }
 
 // FracAbove returns the fraction of observation weight with value strictly
-// greater than bound. Bound must be one of the construction bounds (or zero,
-// meaning "> 0" where bucket zero is assumed to be the v==0 bucket with
-// bounds[0]==0).
+// greater than bound. Bound must be one of the construction bounds: a
+// bucketed histogram cannot split a bucket, so any other bound would
+// silently misattribute the samples below it inside that bucket. Passing a
+// non-construction bound panics.
 func (h *Histogram) FracAbove(bound uint64) float64 {
+	found := false
+	for _, b := range h.bounds {
+		if b == bound {
+			found = true
+			break
+		}
+	}
+	if !found {
+		panic(fmt.Sprintf("stats: FracAbove(%d) is not a construction bound of %v", bound, h.bounds))
+	}
 	if h.total == 0 {
 		return 0
 	}
@@ -118,6 +135,25 @@ func (h *Histogram) FracAbove(bound uint64) float64 {
 	}
 	above += h.counts[len(h.counts)-1] // overflow bucket
 	return float64(above) / float64(h.total)
+}
+
+// MarshalJSON renders the histogram as its bucket list plus summary stats.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		Bound uint64 `json:"bound"` // ^uint64(0) renders as 18446744073709551615 (overflow)
+		Count uint64 `json:"count"`
+	}
+	bks := h.Buckets()
+	out := make([]bucket, len(bks))
+	for i, b := range bks {
+		out[i] = bucket{b.Bound, b.Count}
+	}
+	return json.Marshal(struct {
+		Total   uint64   `json:"total"`
+		Max     uint64   `json:"max"`
+		Mean    float64  `json:"mean"`
+		Buckets []bucket `json:"buckets"`
+	}{h.total, h.max, h.Mean(), out})
 }
 
 // Buckets returns (upper-bound, count) pairs; the final pair has bound
@@ -207,6 +243,16 @@ func (o *OccupancyTracker) FracOccupiedAbove(n uint64) float64 {
 		above += b.Count
 	}
 	return float64(above) / float64(occ)
+}
+
+// MarshalJSON renders the tracker as its occupancy histogram plus the
+// occupied-cycle summary.
+func (o *OccupancyTracker) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		TotalCycles    uint64     `json:"totalCycles"`
+		OccupiedCycles uint64     `json:"occupiedCycles"`
+		Histogram      *Histogram `json:"histogram"`
+	}{o.TotalCycles(), o.OccupiedCycles(), o.hist})
 }
 
 // Figure7Thresholds are the x-axis points of the paper's Figure 7.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -130,5 +131,74 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(s), "\n")
 	if len(lines) != 5 { // title, header, rule, 2 rows
 		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestHistogramFracAbovePanicsOnNonBound(t *testing.T) {
+	h := NewHistogram([]uint64{0, 10, 100})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FracAbove(7) with bounds {0,10,100} did not panic")
+		}
+	}()
+	h.FracAbove(7)
+}
+
+func TestStatsMarshalJSON(t *testing.T) {
+	c := NewCounters()
+	c.Add("alpha", 3)
+	c.Inc("beta")
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]uint64
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["alpha"] != 3 || m["beta"] != 1 {
+		t.Fatalf("counters round-trip = %v", m)
+	}
+
+	h := NewHistogram([]uint64{0, 10})
+	h.Observe(0)
+	h.ObserveN(5, 2)
+	h.Observe(99)
+	b, err = json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hv struct {
+		Total   uint64  `json:"total"`
+		Max     uint64  `json:"max"`
+		Mean    float64 `json:"mean"`
+		Buckets []struct {
+			Bound uint64 `json:"bound"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(b, &hv); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Total != 4 || hv.Max != 99 || len(hv.Buckets) != 3 {
+		t.Fatalf("histogram JSON = %+v", hv)
+	}
+
+	o := NewOccupancyTracker()
+	o.Set(0, 100)
+	o.Finish(50)
+	b, err = json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ov struct {
+		TotalCycles    uint64 `json:"totalCycles"`
+		OccupiedCycles uint64 `json:"occupiedCycles"`
+	}
+	if err := json.Unmarshal(b, &ov); err != nil {
+		t.Fatal(err)
+	}
+	if ov.TotalCycles != 50 || ov.OccupiedCycles != 50 {
+		t.Fatalf("occupancy JSON = %+v", ov)
 	}
 }

@@ -104,9 +104,36 @@ type Report struct {
 	CacheHits int
 	Simulated int // points that ran a fresh simulation
 	Failed    int
+	// Workers is the pool size the sweep actually used (after clamping to
+	// the point count).
+	Workers int
 	// Err is every point error joined with errors.Join (nil if none). A
 	// cancelled sweep's Err wraps ctx.Err().
 	Err error
+}
+
+// CacheHitRatio returns the fraction of points served from the memo cache
+// (0 for an empty sweep).
+func (r *Report) CacheHitRatio() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(len(r.Points))
+}
+
+// WorkerUtilization returns the mean busy fraction of the worker pool:
+// total per-point wall time over Workers x Elapsed. 1.0 means every worker
+// simulated for the whole sweep; low values mean the pool idled (cache
+// hits, stragglers, or too many workers).
+func (r *Report) WorkerUtilization() float64 {
+	if r.Workers <= 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for i := range r.Points {
+		busy += r.Points[i].Wall
+	}
+	return busy.Seconds() / (float64(r.Workers) * r.Elapsed.Seconds())
 }
 
 // Get returns the results for the first point matching label and suite, or
@@ -187,6 +214,8 @@ func Run(ctx context.Context, points []Point, opts Options) (*Report, error) {
 	if opts.NoCache {
 		cache = nil
 	}
+
+	rep.Workers = workers
 
 	jobs := make(chan int)
 	go func() {

@@ -57,6 +57,24 @@ func AllSuites() []Suite {
 	return []Suite{SFP2K, SINT2K, WEB, MM, PROD, SERVER, WS}
 }
 
+// MarshalText renders the suite by name, so Suite-keyed maps marshal to
+// readable JSON objects instead of integer keys.
+func (s Suite) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText parses a suite name as produced by String/MarshalText.
+func (s *Suite) UnmarshalText(text []byte) error {
+	name := string(text)
+	for _, su := range AllSuites() {
+		if su.String() == name {
+			*s = su
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown suite %q", name)
+}
+
 // Profile parameterises a suite's synthetic workload.
 type Profile struct {
 	Suite    Suite

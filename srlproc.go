@@ -41,6 +41,7 @@ import (
 	"srlproc/internal/core"
 	"srlproc/internal/lsq"
 	"srlproc/internal/multicore"
+	"srlproc/internal/obs"
 	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
@@ -171,9 +172,68 @@ func NewMulticore(cfg MulticoreConfig) (*multicore.System, error) {
 // Options scales the experiment runners and tunes the sweep engine that
 // executes their simulation points: Workers bounds the worker pool (0
 // defers to the deprecated Parallel switch, 1 is serial, n > 1 caps
-// concurrency), Progress observes per-point completion, and NoCache
-// disables cross-experiment result memoization.
+// concurrency), Progress observes per-point completion, NoCache disables
+// cross-experiment result memoization, and Obs enables per-run
+// observability on every point. Options.Validate normalises the
+// deprecated Parallel switch into Workers — it is the only place that
+// mapping lives.
 type Options = bench.Options
+
+// ObsConfig enables run observability: Config.Obs (or Options.Obs) with a
+// non-zero SampleEvery records a cycle-window Timeline, and TraceEvents
+// records a typed event trace. The zero value disables both; a disabled
+// run pays one pointer comparison per cycle and allocates nothing.
+type ObsConfig = obs.Config
+
+// DefaultObsConfig returns observability defaults: a 4096-cycle sampling
+// window and event tracing enabled.
+func DefaultObsConfig() ObsConfig { return obs.DefaultConfig() }
+
+// Timeline is a run's cycle-window time-series: IPC, structure
+// occupancies, stall-cause and forwarding-mix deltas per sampling window.
+// Found on Results.Timeline when observability is enabled; export with
+// WriteCSV, WriteJSONL or MarshalJSON.
+type Timeline = obs.Timeline
+
+// TraceWriter is a run's typed pipeline event trace (checkpoints,
+// restarts, miss returns, redo drains, violations). Found on
+// Results.Trace when tracing is enabled; export with WriteJSONL or, for
+// chrome://tracing / Perfetto, WriteChromeTrace.
+type TraceWriter = obs.TraceWriter
+
+// Metric identifies one typed hot-path counter; read values with
+// Results.Metric and enumerate with AllMetrics.
+type Metric = obs.Metric
+
+// AllMetrics lists every typed metric in declaration order.
+func AllMetrics() []Metric { return obs.AllMetrics() }
+
+// EventKind is a typed pipeline event recorded by the trace hook; query
+// counts with Results.Trace.Count.
+type EventKind = obs.EventKind
+
+// The trace event kinds (see obs.EventKind for per-kind Arg semantics).
+const (
+	EvCheckpointCreate  = obs.EvCheckpointCreate
+	EvCheckpointCommit  = obs.EvCheckpointCommit
+	EvRestart           = obs.EvRestart
+	EvMissReturn        = obs.EvMissReturn
+	EvRedoStart         = obs.EvRedoStart
+	EvRedoEnd           = obs.EvRedoEnd
+	EvMemDepViolation   = obs.EvMemDepViolation
+	EvSnoopViolation    = obs.EvSnoopViolation
+	EvOverflowViolation = obs.EvOverflowViolation
+	EvBranchMispredict  = obs.EvBranchMispredict
+)
+
+// SweepReport aggregates one engine sweep: per-point outcomes in input
+// order plus pool-level metrics (elapsed, cache hits, worker
+// utilization). Experiment runners consume it internally; it is exported
+// for callers driving sweep-level tooling.
+type SweepReport = sweep.Report
+
+// SweepPointResult is one sweep point's outcome and cost.
+type SweepPointResult = sweep.PointResult
 
 // Progress is one snapshot of a running sweep: points done/total, cache
 // hits, failures, elapsed wall time and a naive ETA.
