@@ -3,7 +3,7 @@
 # sweep engine's worker pool is the default execution path for every
 # experiment. Run both before merging.
 
-.PHONY: tier1 verify lint bench
+.PHONY: tier1 verify lint bench fuzz
 
 tier1:
 	go build ./... && go test ./...
@@ -25,3 +25,15 @@ lint:
 # Figure 6 matrix at QuickOptions scale.
 bench:
 	go test -run '^$$' -bench BenchmarkSweepMatrix -benchtime 1x .
+
+# Budgeted differential-oracle run (see internal/check): the seeded-bug and
+# regression-trace tests, the full-scale oracle sweep over every Figure 2/6
+# design point, then FUZZTIME of randomized trace-profile x design-point
+# fuzzing. Failing fuzz inputs are auto-saved under
+# internal/check/testdata/fuzz/FuzzOracle/ and become permanent regression
+# seeds; minimize one with `go run ./cmd/traceconv minimize`.
+FUZZTIME ?= 30s
+fuzz:
+	go test ./internal/check -run 'TestSeededForwardingBugCaught|TestRegressionTraces' -count=1
+	SRLPROC_ORACLE_FULL=1 go test ./internal/check -run TestFiguresOracleClean -count=1
+	go test ./internal/check -run '^$$' -fuzz FuzzOracle -fuzztime $(FUZZTIME)

@@ -123,9 +123,11 @@ func (h *Hierarchy) Access(cycle, addr uint64, write bool) AccessResult {
 		h.fillL1(la, done, write)
 		return AccessResult{Done: done, Level: 2}
 	}
-	// Memory access, merged through the MSHR file.
+	// Memory access, merged through the MSHR file. Prune completed fills
+	// first: an entry whose fill cycle has passed no longer occupies an
+	// MSHR, and counting it against the cap would reject admissible
+	// accesses (spurious MSHRFull retries).
 	h.pruneMSHRs(cycle)
-	_ = la
 	if done, ok := h.mshrs[la]; ok {
 		d := done + h.cfg.L1Latency
 		h.fillL1(la, d, write)
@@ -188,15 +190,18 @@ func (h *Hierarchy) prefetchLine(cycle, addr uint64) {
 }
 
 // WouldMissToMemory probes (without side effects) whether a read of addr
-// would have to go to DRAM right now. The core uses this to decide whether
-// a load starts a long-latency miss (and thus poisons its destination).
-func (h *Hierarchy) WouldMissToMemory(addr uint64) bool {
+// at cycle would have to go to DRAM: nothing cached and no miss already in
+// flight. An MSHR entry whose fill cycle has passed is a completed miss,
+// not an in-flight one — it merely hasn't been garbage-collected yet — so
+// it must not suppress the answer (the probe is side-effect-free and
+// cannot prune the file itself).
+func (h *Hierarchy) WouldMissToMemory(cycle, addr uint64) bool {
 	la := isa.LineAddr(addr)
 	if h.L1.Contains(la) || h.L2.Contains(la) {
 		return false
 	}
-	_, pending := h.mshrs[la]
-	return !pending
+	done, pending := h.mshrs[la]
+	return !(pending && done > cycle)
 }
 
 // ProbeState classifies a line's current residence for diagnostics:

@@ -119,12 +119,47 @@ func TestPseudoInclusiveVictims(t *testing.T) {
 
 func TestWouldMissToMemory(t *testing.T) {
 	h := smallHier()
-	if !h.WouldMissToMemory(0x5000) {
+	if !h.WouldMissToMemory(0, 0x5000) {
 		t.Fatal("cold line reported warm")
 	}
 	h.Access(0, 0x5000, false)
-	if h.WouldMissToMemory(0x5000) {
+	if h.WouldMissToMemory(100, 0x5000) {
 		t.Fatal("pending/resident line reported cold")
+	}
+	// Evict the line from both cache levels while its completed MSHR entry
+	// lingers (the file is garbage-collected lazily): a probe after the
+	// fill cycle must not mistake the stale entry for an in-flight miss.
+	h.L1.Invalidate(0x5000)
+	h.L2.Invalidate(0x5000)
+	if !h.WouldMissToMemory(5000, 0x5000) {
+		t.Fatal("expired MSHR entry suppressed a true miss")
+	}
+}
+
+// TestMSHRAdmitsAfterCompletion drives the file to its cap, advances past
+// every fill's completion, and requires the next distinct-line miss to be
+// admitted: Access must prune completed fills before applying the cap, or
+// stale entries reject admissible accesses forever.
+func TestMSHRAdmitsAfterCompletion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchOn = false
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg)
+	h.Access(100, 0x10000, false)
+	h.Access(100, 0x20000, false)
+	if r := h.Access(100, 0x30000, false); !r.MSHRFull {
+		t.Fatal("third concurrent miss admitted with 2 MSHRs")
+	}
+	// Both fills complete at cycle 900. At 901 the file is logically empty.
+	r := h.Access(901, 0x40000, false)
+	if r.MSHRFull {
+		t.Fatal("miss rejected after all outstanding fills completed")
+	}
+	if r.Level != 3 || r.Done != 901+800+3 {
+		t.Fatalf("admitted miss level=%d done=%d", r.Level, r.Done)
+	}
+	if got := h.MSHRFullEvents(); got != 1 {
+		t.Fatalf("MSHRFullEvents %d, want 1", got)
 	}
 }
 

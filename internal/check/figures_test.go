@@ -1,0 +1,77 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"srlproc/internal/core"
+	"srlproc/internal/trace"
+)
+
+// figurePoints returns every design point the paper's Figure 2 and Figure 6
+// sweeps simulate: the 48-entry baseline, the single-level store queue at
+// 128..1K entries, the SRL machine and the hierarchical store queue.
+func figurePoints() []struct {
+	Name string
+	Cfg  core.Config
+} {
+	var pts []struct {
+		Name string
+		Cfg  core.Config
+	}
+	add := func(name string, cfg core.Config) {
+		pts = append(pts, struct {
+			Name string
+			Cfg  core.Config
+		}{name, cfg})
+	}
+	add("baseline", core.DefaultConfig(core.DesignBaseline))
+	for _, size := range []int{128, 256, 512, 1024} {
+		cfg := core.DefaultConfig(core.DesignLargeSTQ)
+		cfg.STQSize = size
+		add(fmt.Sprintf("stq%d", size), cfg)
+	}
+	add("srl", core.DefaultConfig(core.DesignSRL))
+	add("hier", core.DefaultConfig(core.DesignHierarchical))
+	return pts
+}
+
+// TestFiguresOracleClean runs every Figure 2 / Figure 6 design point on
+// every suite with the lockstep oracle enabled and requires zero
+// divergences. By default each point runs a reduced length (2K warmup / 8K
+// measured uops); setting SRLPROC_ORACLE_FULL=1 runs the QuickOptions
+// scale the figures themselves use (8K / 40K), which is what `make fuzz`
+// and the nightly job exercise.
+func TestFiguresOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle figure sweep skipped in -short mode")
+	}
+	warmup, run := uint64(2_000), uint64(8_000)
+	if os.Getenv("SRLPROC_ORACLE_FULL") == "1" {
+		warmup, run = 8_000, 40_000
+	}
+	for _, pt := range figurePoints() {
+		for _, su := range trace.AllSuites() {
+			pt, su := pt, su
+			t.Run(fmt.Sprintf("%s/%s", pt.Name, su), func(t *testing.T) {
+				t.Parallel()
+				cfg := pt.Cfg
+				cfg.WarmupUops = warmup
+				cfg.RunUops = run
+				cfg.Check = true
+				uops := CaptureFor(cfg, su)
+				res, err := RunChecked(cfg, su, uops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.DivergenceCount != 0 {
+					for i, d := range res.Divergences {
+						t.Errorf("divergence %d: %s", i, d)
+					}
+					t.Fatalf("%s/%s: %d divergences (config: %+v)", pt.Name, su, res.DivergenceCount, cfg)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package check
+
+import (
+	"srlproc/internal/core"
+	"srlproc/internal/isa"
+	"srlproc/internal/trace"
+)
+
+// DefaultMinimizeBudget bounds how many replay runs Minimize spends. The
+// prefix binary search uses O(log n); the rest goes to chunk removal.
+const DefaultMinimizeBudget = 200
+
+// Minimize shrinks a divergence-reproducing micro-op stream to a smaller
+// one that still diverges under cfg. It first binary-chops the prefix
+// (the divergence has a latest-contributing micro-op; any prefix past it
+// reproduces), then runs a ddmin-style pass deleting chunks of shrinking
+// size from the middle. Every candidate is renumbered densely before
+// replay — the machine's window ring indexes by sequence number — with
+// producer references (MemSeq) remapped alongside, or cleared when the
+// producing store was deleted (the load then reads memory, which can only
+// weaken the repro; the check catches that and keeps the store).
+//
+// The returned slice is renumbered and replayable as-is (via RunChecked
+// or a written trace file). ok is false when the input itself does not
+// reproduce under cfg — callers should replay with WarmupUops=0 so
+// nothing is hidden by the stats reset.
+func Minimize(cfg core.Config, suite trace.Suite, uops []isa.Uop, budget int) (min []isa.Uop, ok bool) {
+	if budget <= 0 {
+		budget = DefaultMinimizeBudget
+	}
+	runs := 0
+	reproduces := func(cand []isa.Uop) bool {
+		if len(cand) == 0 || runs >= budget {
+			return false
+		}
+		runs++
+		res, err := RunChecked(cfg, suite, Renumber(cand))
+		return err == nil && res.DivergenceCount > 0
+	}
+
+	if !reproduces(uops) {
+		return nil, false
+	}
+	cur := uops
+
+	// Phase 1: smallest reproducing prefix, by binary search. Reproduction
+	// is not perfectly monotone in prefix length (a shorter stream loops
+	// differently), so only prefixes that actually reproduced are eligible;
+	// the shortest of those wins.
+	best := len(cur)
+	lo, hi := 1, len(cur)
+	for lo < hi && runs < budget {
+		mid := (lo + hi) / 2
+		if reproduces(cur[:mid]) {
+			best = mid
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cur = cur[:best]
+
+	// Phase 2: ddmin-lite — delete chunks of halving size anywhere in the
+	// stream while the divergence survives.
+	for chunk := len(cur) / 2; chunk >= 1 && runs < budget; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur) && runs < budget; {
+			cand := make([]isa.Uop, 0, len(cur)-chunk)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+chunk:]...)
+			if reproduces(cand) {
+				cur = cand
+				// Re-test the same offset: the next chunk slid into it.
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return Renumber(cur), true
+}
+
+// Renumber rewrites uops with dense sequence numbers 1..n (the simulator's
+// window ring requires density) and remaps non-zero MemSeq producer
+// references through the same renaming; references to deleted stores are
+// cleared to 0 ("from memory").
+func Renumber(uops []isa.Uop) []isa.Uop {
+	out := make([]isa.Uop, len(uops))
+	remap := make(map[uint64]uint64, len(uops))
+	for i, u := range uops {
+		remap[u.Seq] = uint64(i + 1)
+		u.Seq = uint64(i + 1)
+		out[i] = u
+	}
+	for i := range out {
+		if out[i].MemSeq == 0 {
+			continue
+		}
+		if ns, hit := remap[out[i].MemSeq]; hit {
+			out[i].MemSeq = ns
+		} else {
+			out[i].MemSeq = 0
+		}
+	}
+	return out
+}

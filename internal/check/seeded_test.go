@@ -1,0 +1,136 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"srlproc/internal/core"
+	"srlproc/internal/oracle"
+	"srlproc/internal/trace"
+)
+
+// faultCfg is the pinned design point for the seeded-bug tests: an SRL
+// machine with Config.FaultInvertFwdAge set, which inverts the forwarding
+// cache's older-store age comparison (a load then forwards from a *younger*
+// store to the same word). The oracle must catch the wrong value at load
+// completion or commit. Seed 1 on SINT2K yields divergences within the
+// first few thousand committed uops.
+func faultCfg() core.Config {
+	cfg := core.DefaultConfig(core.DesignSRL)
+	cfg.Seed = 1
+	cfg.WarmupUops = 0
+	cfg.RunUops = 8000
+	cfg.SRLSize = 32
+	cfg.Check = true
+	cfg.FaultInvertFwdAge = true
+	cfg.SnoopsEnabled = false
+	return cfg
+}
+
+// TestSeededForwardingBugCaught runs the deliberately broken forwarding
+// path under the oracle and requires it to be detected, minimized, and
+// still detected after a round trip through the on-disk trace format.
+func TestSeededForwardingBugCaught(t *testing.T) {
+	cfg := faultCfg()
+	uops := CaptureFor(cfg, trace.SINT2K)
+	res, err := RunChecked(cfg, trace.SINT2K, uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DivergenceCount == 0 {
+		t.Fatal("seeded forwarding-age bug not caught: zero divergences")
+	}
+	sawAge := false
+	for _, d := range res.Divergences {
+		if d.Kind == oracle.KindForwardAge {
+			sawAge = true
+			break
+		}
+	}
+	if !sawAge {
+		t.Fatalf("expected a forward-age divergence among %d; first is %v",
+			res.DivergenceCount, res.Divergences[0].Kind)
+	}
+	t.Logf("caught: %d divergences, first at cycle %d", res.DivergenceCount, res.Divergences[0].Cycle)
+
+	if testing.Short() {
+		t.Skip("skipping minimization in -short mode")
+	}
+	min, ok := Minimize(cfg, trace.SINT2K, uops, 64)
+	if !ok {
+		t.Fatal("Minimize failed to reproduce the divergence")
+	}
+	if len(min) >= len(uops) {
+		t.Fatalf("minimization did not shrink the trace: %d -> %d", len(uops), len(min))
+	}
+	t.Logf("minimized %d uops -> %d", len(uops), len(min))
+
+	// Round-trip through the on-disk format: a minimized trace is only
+	// useful if the file you hand someone still reproduces.
+	path := filepath.Join(t.TempDir(), "min.srlt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteRecords(f, min); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	back, err := trace.ReadRecords(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunChecked(cfg, trace.SINT2K, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DivergenceCount == 0 {
+		t.Fatal("minimized trace no longer reproduces after file round-trip")
+	}
+}
+
+// TestRegressionTraces replays every checked-in minimized trace under the
+// config that originally exposed it and requires the divergence to persist.
+// Each file in testdata/regress is the output of a Minimize run on a real
+// or seeded bug; if a refactor makes one stop reproducing, either the bug
+// class became unreachable (update the trace) or the oracle lost coverage.
+func TestRegressionTraces(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "regress", "*.srlt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no regression traces checked in")
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			f, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			uops, err := trace.ReadRecords(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunChecked(faultCfg(), trace.SINT2K, uops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.DivergenceCount == 0 {
+				t.Fatalf("regression trace %s no longer reproduces any divergence", p)
+			}
+			t.Logf("%s: %d divergences (first %v at cycle %d)",
+				filepath.Base(p), res.DivergenceCount, res.Divergences[0].Kind, res.Divergences[0].Cycle)
+		})
+	}
+}

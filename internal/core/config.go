@@ -153,6 +153,22 @@ type Config struct {
 	// rate comes from the workload profile unless disabled here.
 	SnoopsEnabled bool
 
+	// Check runs the differential oracle (internal/oracle) in lockstep
+	// with the pipeline: a fully searched program-ordered reference memory
+	// system cross-checks every load's forwarding decision, every redo
+	// drain, every checkpoint commit and the end-of-run image, plus
+	// structure invariants (LCF coverage, SRL FIFO order, load-buffer
+	// monotonicity, WAR gating). Divergences land in Results.Divergences;
+	// they never abort the run. Checking observes, it never perturbs:
+	// a checked run's timing results are bit-identical to an unchecked one.
+	Check bool
+
+	// FaultInvertFwdAge injects a deliberate forwarding-age bug (the
+	// Forwarding Cache's storeSeq < loadSeq eligibility comparison is
+	// inverted) so the checker and fuzzer can prove they catch it.
+	// Never set in real experiments.
+	FaultInvertFwdAge bool
+
 	// Obs enables run observability: the cycle-window time-series sampler
 	// and the typed event trace (see internal/obs). The zero value
 	// disables both; a disabled run pays one pointer comparison per cycle

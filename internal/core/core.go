@@ -53,8 +53,11 @@ type Core struct {
 	sdbCount  int       // live entries (inSDB) in the sdb heap
 	pendDrain []*dynUop // poisoned uops waiting for SDB space
 
-	// SRL-stalled loads.
-	srlStalled []*dynUop
+	// SRL-stalled loads, plus the retry loop's reusable snapshot buffer
+	// (the loop must not iterate srlStalled itself: releasing a load can
+	// restart the machine, which rewrites the list in place).
+	srlStalled      []*dynUop
+	srlRetryScratch []*dynUop
 
 	// In-flight stores with unknown (poisoned) addresses, for the memory
 	// dependence predictor to screen loads against.
@@ -141,6 +144,10 @@ type Core struct {
 	// sampler and typed event trace. Disabled runs pay one nil test per
 	// cycle.
 	obsrv *obsState
+
+	// Differential checker (nil unless cfg.Check): the lockstep reference
+	// memory system plus structure-invariant sweeps. See check.go.
+	chk *checker
 }
 
 // New builds a core for the given configuration and workload suite.
@@ -176,6 +183,14 @@ func NewFromSource(cfg Config, src trace.Source, prof trace.Profile) (*Core, err
 	c.res.Suite = prof.Suite
 	c.res.Design = cfg.Design
 	c.recentLoads = make([]uint64, 64)
+	// Store identifiers start at 1: a load allocated before any store then
+	// carries nearestStoreID 0, which every magnitude age comparison reads
+	// as "older than all stores". Starting at 0 made that value underflow
+	// to ^uint64(0) — the load looked younger than everything, provoking
+	// spurious store-check violations and, with indexed forwarding,
+	// accepting a younger store as a producer. It also disambiguates
+	// dynUop.storeID's 0-means-unassigned sentinel.
+	c.storeCounter = 1
 
 	switch cfg.Design {
 	case DesignBaseline, DesignLargeSTQ:
@@ -202,6 +217,13 @@ func NewFromSource(cfg Config, src trace.Source, prof trace.Profile) (*Core, err
 		c.ldbuf = lsq.NewLoadBuffer(cfg.LQSize, cfg.LoadBufAssoc, cfg.LoadBufPolicy, cfg.LoadBufVictim)
 	default:
 		return nil, fmt.Errorf("core: unknown design %v", cfg.Design)
+	}
+
+	if c.fc != nil {
+		c.fc.FaultInvertAge = cfg.FaultInvertFwdAge
+	}
+	if cfg.Check {
+		c.chk = newChecker(c)
 	}
 
 	// The first checkpoint.
@@ -406,6 +428,15 @@ func (c *Core) processCompletions() {
 }
 
 func (c *Core) finalize() {
+	if c.redoActive {
+		// The measured region ended mid-episode; close it so the event
+		// trace's start/end pairing holds for consumers.
+		c.redoActive = false
+		c.obsEvent(obs.EvRedoEnd, 0)
+	}
+	if c.chk != nil {
+		c.chkFinish()
+	}
 	c.res.Cycles = c.cycle - c.statsResetAt
 	c.res.Uops = c.committed - c.committedAtReset
 	c.srlOcc.Finish(c.cycle)

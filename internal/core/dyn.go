@@ -57,6 +57,12 @@ type dynUop struct {
 	// SRL stall state.
 	srlStalled bool
 
+	// ldbufInserted marks a load already recorded in the load buffer at
+	// access time (long-latency misses insert early so store checks and
+	// snoops see them while the miss is in flight); complete() must not
+	// insert it again.
+	ldbufInserted bool
+
 	// memDep is a store this load must wait for (predicted or detected
 	// memory dependence); the load re-executes once the store completes.
 	memDep *dynUop

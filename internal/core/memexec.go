@@ -5,6 +5,7 @@ import (
 	"srlproc/internal/isa"
 	"srlproc/internal/lsq"
 	"srlproc/internal/obs"
+	"srlproc/internal/oracle"
 )
 
 // cachesimSpecResult aliases the cache's speculative-write result.
@@ -149,7 +150,7 @@ func (c *Core) executeLoad(d *dynUop) {
 			}
 		}
 		if sr.Entry.DataReady {
-			c.finishLoadForward(d, sr.Entry.SRLIndex, c.cfg.L1STQLatency)
+			c.finishLoadForward(d, sr.Entry.SRLIndex, c.cfg.L1STQLatency, oracle.FwdL1STQ)
 			c.res.L1STQForwards++
 			return
 		}
@@ -177,7 +178,7 @@ func (c *Core) executeLoad(d *dynUop) {
 					// Forwarding from the L2 STQ costs the L2 STQ's access
 					// latency (8 cycles) — the disadvantage SRL forwarding
 					// at L1-hit latency avoids (Section 6.1).
-					c.finishLoadForward(d, sr2.Entry.SRLIndex, c.cfg.L2STQLatency)
+					c.finishLoadForward(d, sr2.Entry.SRLIndex, c.cfg.L2STQLatency, oracle.FwdL2STQ)
 					c.res.L2STQForwards++
 					return
 				}
@@ -187,7 +188,7 @@ func (c *Core) executeLoad(d *dynUop) {
 		if c.srlMode() {
 			if c.fc != nil {
 				if hit, ok := c.fc.Lookup(d.u.Addr, d.u.Seq); ok {
-					c.finishLoadForward(d, hit.SRLIndex, c.cfg.L1STQLatency)
+					c.finishLoadForward(d, hit.SRLIndex, c.cfg.L1STQLatency, oracle.FwdFC)
 					c.res.FCForwards++
 					return
 				}
@@ -198,7 +199,7 @@ func (c *Core) executeLoad(d *dynUop) {
 				// recorded per line, so the load is treated as forwarded
 				// from its youngest older store; an intervening dependent
 				// store's later fill is caught by the load buffer.
-				c.finishLoadForward(d, d.nearestStoreID, c.cfg.L1STQLatency)
+				c.finishLoadForward(d, d.nearestStoreID, c.cfg.L1STQLatency, oracle.FwdTempCache)
 				c.res.FCForwards++
 				return
 			}
@@ -213,14 +214,16 @@ func (c *Core) executeLoad(d *dynUop) {
 						return
 					}
 					// Zero counter: provably no matching store in the SRL.
-				} else {
-					// No LCF (Figure 8's worst bar): during the redo phase
-					// a load cannot prove the SRL holds no matching store,
-					// so it stalls until its older stores have drained.
-					if c.redoActive {
-						c.stallOnSRL(d)
-						return
-					}
+				} else if c.srl.HeadIndex() <= d.nearestStoreID {
+					// No LCF (Figure 8's worst bar): a load cannot prove
+					// the SRL holds no matching older store, so it stalls
+					// until every older store has drained — in the miss
+					// shadow just as in the redo phase. A shadow-resident
+					// store's value lives only in the FC or temporary
+					// cache, both of which evict; memory stays stale until
+					// the redo drains, so reading it here is wrong data.
+					c.stallOnSRL(d)
+					return
 				}
 			}
 		}
@@ -255,7 +258,7 @@ func (c *Core) tryIndexedForward(d *dynUop, lastIdx uint64) bool {
 		return false
 	}
 	c.res.IndexedForwards++
-	c.finishLoadForward(d, e.SRLIndex, c.cfg.L1STQLatency+1)
+	c.finishLoadForward(d, e.SRLIndex, c.cfg.L1STQLatency+1, oracle.FwdIndexed)
 	return true
 }
 
@@ -278,13 +281,20 @@ func (c *Core) retrySRLStalled() {
 	// Stalled loads wake as drains release them; the wait buffer can wake
 	// several per cycle (they re-enter through the cache port pipeline).
 	budget := 4 * c.cfg.LoadPorts
-	out := c.srlStalled[:0]
-	for i, d := range c.srlStalled {
+	// Iterate over a snapshot: releasing a load can trigger an
+	// overflow-violation restart, and restart rewrites c.srlStalled (and
+	// the uops it holds) in place. The list is rebuilt from the snapshot's
+	// survivors; a restart's own filtering then composes with appends here
+	// instead of racing the iteration.
+	pending := append(c.srlRetryScratch[:0], c.srlStalled...)
+	c.srlRetryScratch = pending
+	c.srlStalled = c.srlStalled[:0]
+	for i, d := range pending {
 		if !d.allocated || !d.srlStalled {
 			continue
 		}
 		if budget == 0 {
-			out = append(out, c.srlStalled[i:]...)
+			c.srlStalled = append(c.srlStalled, pending[i:]...)
 			break
 		}
 		proceed := c.srl.Empty() || c.srl.HeadIndex() > d.nearestStoreID
@@ -303,21 +313,68 @@ func (c *Core) retrySRLStalled() {
 		if proceed {
 			d.srlStalled = false
 			budget--
+			// Re-search the L1 STQ before releasing the load to the cache:
+			// an older store may have entered (or completed in) the L1 STQ
+			// while the load sat stalled, and skipping the search would
+			// silently hand the load pre-store data. The hardware
+			// equivalent: a woken load re-enters the load pipeline from the
+			// search stage, not the cache stage.
+			if sr := c.l1stq.Search(d.u.Addr, d.u.Size, d.u.Seq); sr.Hit {
+				if sr.PoisonedMatch {
+					if su := c.uopBySeq(sr.Entry.Seq); su != nil && !su.done {
+						c.blockOnStore(d, su)
+						continue
+					}
+				}
+				if sr.Entry.DataReady {
+					c.finishLoadForward(d, sr.Entry.SRLIndex, c.cfg.L1STQLatency, oracle.FwdL1STQ)
+					c.res.L1STQForwards++
+					continue
+				}
+			}
 			c.accessCacheForLoad(d)
 			continue
 		}
-		out = append(out, d)
+		c.srlStalled = append(c.srlStalled, d)
 	}
-	c.srlStalled = out
 }
 
 // finishLoadForward completes a load via store forwarding at the given
-// latency.
-func (c *Core) finishLoadForward(d *dynUop, storeID uint64, latency uint64) {
+// latency. kind names the forwarding mechanism for the differential
+// checker (which validates the producer at this decision point).
+func (c *Core) finishLoadForward(d *dynUop, storeID uint64, latency uint64, kind oracle.ForwardKind) {
 	c.leaveSched(d)
 	d.issued = true
 	d.fwdStoreID = storeID
+	if c.chk != nil {
+		c.chkLoadDecision(d, kind, storeID)
+	}
+	if !d.ldbufInserted && !c.insertLoadBufEntry(d) {
+		return
+	}
 	pushCmpl(&c.cmpl, c.cycle+latency, d)
+}
+
+// insertLoadBufEntry records a load in the load buffer at the moment it
+// consumes its data. Recording at completion instead opens a window (the
+// access latency) in which a completing store's check misses the load and a
+// stale read commits undetected — the load must be visible to store checks
+// and snoops from its decision cycle on. Returns false when the overflow
+// policy forced a violation restart (the load is squashed and replays).
+func (c *Core) insertLoadBufEntry(d *dynUop) bool {
+	entry := lsq.LoadEntry{
+		Seq: d.u.Seq, PC: d.u.PC, Addr: d.u.Addr, Size: d.u.Size,
+		NearestStoreID: d.nearestStoreID, FwdStoreID: d.fwdStoreID,
+		Ckpt: d.ckptID,
+	}
+	if !c.ldbuf.Insert(entry) {
+		c.res.OverflowViolations++
+		c.obsEvent(obs.EvOverflowViolation, d.u.Addr)
+		c.restart(d.ckptID, c.cfg.MispredictPenalty)
+		return false
+	}
+	d.ldbufInserted = true
+	return true
 }
 
 // accessCacheForLoad sends the load to the memory hierarchy; a long-latency
@@ -339,6 +396,14 @@ func (c *Core) accessCacheForLoad(d *dynUop) {
 	c.leaveSched(d)
 	d.issued = true
 	d.fwdStoreID = lsq.NoFwd
+	if c.chk != nil {
+		// The load's decision happens now — it reads the memory image as of
+		// this cycle, even if the data arrives much later.
+		c.chkLoadDecision(d, oracle.FwdMemory, lsq.NoFwd)
+	}
+	if !d.ldbufInserted && !c.insertLoadBufEntry(d) {
+		return
+	}
 	if res.Done > c.cycle+poisonThreshold {
 		// Long-latency miss: CFP. The load drains to the SDB and its data
 		// return re-enters through slice reinsertion.
@@ -413,7 +478,21 @@ func (c *Core) drainCommitted(q *lsq.StoreQueue, mtb *lsq.MTB) {
 		if c.snoopSink != nil {
 			c.snoopSink(isa.LineAddr(h.Addr))
 		}
+		seq, addr, size, storeIdx := h.Seq, h.Addr, h.Size, h.SRLIndex
 		q.PopHead()
+		if c.chk != nil {
+			c.chkStoreDrained(seq)
+		}
+		// Safety net mirroring the SRL drain path: a load that read memory
+		// while this (older, committed) store was still queued must have
+		// forwarded from it or younger — anything else slipped past the
+		// issue-time search and is a memory dependence violation.
+		if v, found := c.ldbuf.StoreCheck(addr, size, storeIdx); found {
+			c.res.MemDepViolations++
+			c.obsEvent(obs.EvMemDepViolation, addr)
+			c.restart(v.Ckpt, c.cfg.MispredictPenalty)
+			return
+		}
 	}
 }
 
@@ -639,17 +718,36 @@ func (c *Core) drainSRLHead() {
 		}
 		storeIdx := h.SRLIndex
 		addr, size := h.Addr, h.Size
+		seq := h.Seq
 		if su := c.uopBySeq(h.Seq); su != nil {
 			su.everRedone = true // counted once, at commit
 		} else {
 			c.res.RedoneStores++ // store already committed; count directly
 		}
 		c.srl.PopHead()
+		if c.chk != nil {
+			c.chkSRLDrained(seq)
+		}
 		if c.srl.Empty() {
 			if c.redoActive {
 				c.obsEvent(obs.EvRedoEnd, 0)
+				if c.chk != nil {
+					c.chkSweep() // redo episode closed: structures quiescent
+				}
 			}
 			c.redoActive = false
+			// The episode's temporary updates are all in the cache now. FC
+			// entries must not survive into the next miss episode: stores
+			// draining through the normal path in between supersede them,
+			// and a stale hit would silently forward old data.
+			if c.fc != nil {
+				c.fc.DiscardAll()
+			}
+			// Empty SRL: every LCF counter's true population is zero, so
+			// rebuild — this is what releases sticky-saturated counters.
+			if c.lcf != nil {
+				c.lcf.Reset()
+			}
 		}
 		if v, found := c.ldbuf.StoreCheck(addr, size, storeIdx); found {
 			c.res.MemDepViolations++

@@ -44,10 +44,15 @@ func newObsState(cfg obs.Config) *obsState {
 
 // obsEvent records a typed pipeline event when tracing is enabled. The
 // call sites are off the per-cycle path (checkpoints, restarts, miss
-// returns), so the double nil-test is all a disabled run pays there.
+// returns), so the double nil-test is all a disabled run pays there. The
+// differential checker keeps its own small ring of recent events so a
+// divergence can carry context even when tracing is off.
 func (c *Core) obsEvent(kind obs.EventKind, arg uint64) {
 	if c.obsrv != nil && c.obsrv.trace != nil {
 		c.obsrv.trace.Record(c.cycle, kind, arg)
+	}
+	if c.chk != nil {
+		c.chk.noteEvent(obs.Event{Cycle: c.cycle, Kind: kind, Arg: arg})
 	}
 }
 

@@ -81,11 +81,15 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 		d.fwdStoreID = 0
 		d.memDep = nil
 		d.inUnknownList = false
+		d.ldbufInserted = false
 		// d.everInSDB is deliberately preserved: miss-dependence is
 		// counted once per uop even across replays.
 	}
 
 	squashBelow := fromSeq // entries with Seq >= fromSeq are squashed
+	if c.chk != nil {
+		c.chkSquash(fromSeq)
+	}
 	// Slice data buffer (stale heap entries are dropped lazily; recount the
 	// live population) and companion lists.
 	live := 0
@@ -100,7 +104,10 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 	c.unknownStores = filterUops(c.unknownStores, squashBelow)
 	c.deferred = filterUops(c.deferred, squashBelow)
 
-	// Store/load structures.
+	// Store/load structures. Every SquashYoungerThan follows one convention
+	// (entries with Seq > argument are removed, see lsq.StoreQueue), so the
+	// restart boundary — squash everything with Seq >= fromSeq — is uniformly
+	// expressed as SquashYoungerThan(fromSeq-1) across all five structures.
 	for _, e := range c.l1stq.SquashYoungerThan(squashBelow - 1) {
 		if c.cfg.Design == DesignFilteredSTQ && e.AddrKnown {
 			c.mtb.Remove(e.Addr)
@@ -124,6 +131,15 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 				c.obsEvent(obs.EvRedoEnd, 0)
 			}
 			c.redoActive = false
+			// Episode over: clear surviving temporary updates (see
+			// drainSRLHead) so the next miss episode starts clean, and
+			// rebuild the LCF (releases sticky-saturated counters).
+			if c.fc != nil {
+				c.fc.DiscardAll()
+			}
+			if c.lcf != nil {
+				c.lcf.Reset()
+			}
 		}
 	}
 	if c.fc != nil {

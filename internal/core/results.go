@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"srlproc/internal/obs"
+	"srlproc/internal/oracle"
 	"srlproc/internal/stats"
 	"srlproc/internal/trace"
 )
@@ -97,6 +98,13 @@ type Results struct {
 	// Metric for those and Extra/ExtraNames for anything still free-form.
 	// Direct map access remains only for backward compatibility.
 	Counters *stats.Counters `json:"extras,omitempty"`
+
+	// Divergences holds the differential oracle's findings (Config.Check):
+	// the first oracle.DefaultMaxDivergences disagreements in detection
+	// order, each with recent-event context. DivergenceCount keeps counting
+	// past the retention cap. Both are zero on a clean (or unchecked) run.
+	Divergences     []oracle.Divergence `json:"divergences,omitempty"`
+	DivergenceCount uint64              `json:"divergenceCount,omitempty"`
 }
 
 // Metric returns one typed hot-path counter.

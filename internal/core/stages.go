@@ -185,6 +185,10 @@ func (c *Core) drainToSDB(d *dynUop) {
 				if c.cfg.Design == DesignFilteredSTQ {
 					c.mtb.Add(d.u.Addr)
 				}
+				if c.chk != nil {
+					// Address visible to disambiguation, data still poisoned.
+					c.chkStoreResolved(d, false)
+				}
 			}
 		}
 		if !d.addrKnown && !d.inUnknownList {
@@ -351,6 +355,11 @@ func (c *Core) complete(d *dynUop) {
 	case d.isLoad():
 		c.order.LoadCompleted(d.u.Seq)
 		c.noteRecentLoad(d.u.Addr)
+		if d.ldbufInserted {
+			// Already recorded at access time (long-latency miss); a second
+			// insert would duplicate the entry.
+			break
+		}
 		entry := lsq.LoadEntry{
 			Seq: d.u.Seq, PC: d.u.PC, Addr: d.u.Addr, Size: d.u.Size,
 			NearestStoreID: d.nearestStoreID, FwdStoreID: d.fwdStoreID,
@@ -392,6 +401,10 @@ func (c *Core) locateStoreEntry(d *dynUop) *lsq.StoreEntry {
 func (c *Core) completeStore(d *dynUop) bool {
 	wasUnknown := !d.addrKnown
 	d.addrKnown = true
+	if c.chk != nil {
+		// Address and data both available from here on.
+		c.chkStoreResolved(d, true)
+	}
 	if wasUnknown {
 		c.noteStoreAddrKnown()
 		if c.cfg.Design == DesignFilteredSTQ {
@@ -412,19 +425,30 @@ func (c *Core) completeStore(d *dynUop) bool {
 		c.srl.Fill(d.srlIdx, d.u.Addr, d.u.Size)
 		if c.lcf != nil {
 			if se := c.srl.Get(d.srlIdx); se != nil {
-				c.lcf.Inc(d.u.Addr, d.srlIdx)
+				// The slot was reserved before the address was known, so a
+				// saturated counter cannot refuse this insert the way
+				// drainToSRL stalls allocation — it pins sticky instead.
+				c.lcf.IncSticky(d.u.Addr, d.srlIdx)
 				se.LCFCounted = true
 				se.Ckpt = d.ckptID
 			}
 		}
 		// The completing store also performs its temporary forwarding
 		// update (it has left the L1 STQ; later independent loads source
-		// its data from the FC or the data cache, Section 4.1).
-		if c.fc != nil {
-			c.fc.Update(d.u.Addr, d.u.Size, d.srlIdx, d.u.Seq, d.ckptID)
-		} else if c.cfg.Design == DesignSRL && !c.cfg.UseFC {
-			if se := c.srl.Get(d.srlIdx); se != nil {
-				c.tempUpdateDataCache(se)
+		// its data from the FC or the data cache, Section 4.1). Stores can
+		// fill their SRL slots out of program order, and after a redo-start
+		// flash-clear the forwarding structure may be empty: a late older
+		// store must not publish its value as the newest temporary update
+		// when a younger already-filled SRL store overlaps it. (The FC's own
+		// age guard covers the entry-still-present case; this covers
+		// insertion after eviction or discard.)
+		if !c.youngerSRLStoreOverlaps(d) {
+			if c.fc != nil {
+				c.fc.Update(d.u.Addr, d.u.Size, d.srlIdx, d.u.Seq, d.ckptID)
+			} else if c.cfg.Design == DesignSRL && !c.cfg.UseFC {
+				if se := c.srl.Get(d.srlIdx); se != nil {
+					c.tempUpdateDataCache(se)
+				}
 			}
 		}
 	}
@@ -442,6 +466,24 @@ func (c *Core) completeStore(d *dynUop) bool {
 		return true
 	}
 	return false
+}
+
+// youngerSRLStoreOverlaps reports whether an SRL-resident store younger
+// than d has already filled its slot with an address overlapping d's
+// write — the witness that d's late temporary update would be stale.
+func (c *Core) youngerSRLStoreOverlaps(d *dynUop) bool {
+	if c.srl == nil {
+		return false
+	}
+	lo, hi := d.u.Addr, d.u.Addr+uint64(d.u.Size)
+	found := false
+	c.srl.ForEach(func(_ int, e *lsq.StoreEntry) {
+		if !found && e.Seq > d.u.Seq && e.AddrKnown && e.DataReady &&
+			e.Addr < hi && lo < e.Addr+uint64(e.Size) {
+			found = true
+		}
+	})
+	return found
 }
 
 func (c *Core) removeUnknownStore(d *dynUop) {
@@ -485,6 +527,10 @@ func (c *Core) commitCheckpoints() {
 		for c.win.len() > 0 && c.win.at(0).u.Seq <= endSeq {
 			d := c.win.popFront()
 			d.committed = true
+			if c.chk != nil {
+				// In sequence order, so a store commits before younger loads.
+				c.chkCommitUop(d)
+			}
 			c.committed++
 			c.replayPos--
 			if d.isLoad() {
@@ -505,6 +551,9 @@ func (c *Core) commitCheckpoints() {
 		}
 		c.ldbuf.CommitCkpt(ck.id)
 		c.mem.L1.CommitSpec(ck.id)
+		if c.chk != nil {
+			c.chkSweep()
+		}
 		c.ckpts = c.ckpts[1:]
 		if len(c.ckpts) == 0 {
 			// Always keep a live checkpoint to allocate into.
@@ -799,6 +848,9 @@ func (c *Core) allocStoreEntry(d *dynUop, ckptID int) bool {
 		d.stqSlot = slot
 	}
 	c.unknownAddrStores++
+	if c.chk != nil {
+		c.chkStoreAlloc(d)
+	}
 	return true
 }
 

@@ -17,6 +17,11 @@ type FC struct {
 	assoc int
 	nsets int
 
+	// FaultInvertAge inverts the producer-age eligibility comparison in
+	// Lookup (fault injection: lets the checker and fuzzer prove they catch
+	// an inverted storeSeq < loadSeq bug). Never set in real runs.
+	FaultInvertAge bool
+
 	lookups uint64
 	hits    uint64
 	updates uint64
@@ -51,9 +56,13 @@ func (f *FC) Updates() uint64 { return f.updates }
 
 func (f *FC) set(addr uint64) int { return int(wordAddr(addr) % uint64(f.nsets)) }
 
-// Update records a miss-independent store's temporary data. Stores reach
-// the FC in program order (they leave the L1 STQ in order), so the entry
-// always holds the youngest store to the word.
+// Update records a miss-independent store's temporary data. Stores
+// normally reach the FC in program order (they leave the L1 STQ in order),
+// so the entry holds the youngest store to the word — but a store whose
+// data arrives late (an SRL slot reserved at displacement time and filled
+// out of order) may update after a younger store to the same word already
+// did. The age guard refuses to let such a late, older store clobber the
+// younger entry: forwarding from it would silently hand loads stale data.
 func (f *FC) Update(addr uint64, size uint8, srlIndex, storeSeq uint64, ckpt int) {
 	f.updates++
 	w := wordAddr(addr)
@@ -61,6 +70,9 @@ func (f *FC) Update(addr uint64, size uint8, srlIndex, storeSeq uint64, ckpt int
 	set := f.sets[si]
 	for i := range set {
 		if set[i].valid && set[i].word == w {
+			if storeSeq < set[i].storeSeq {
+				return
+			}
 			e := set[i]
 			e.srlIndex, e.storeSeq, e.ckpt = srlIndex, storeSeq, ckpt
 			copy(set[1:i+1], set[:i])
@@ -94,7 +106,11 @@ func (f *FC) Lookup(addr uint64, loadSeq uint64) (FCHit, bool) {
 	set := f.sets[f.set(addr)]
 	for i := range set {
 		if set[i].valid && set[i].word == w {
-			if set[i].storeSeq < loadSeq {
+			older := set[i].storeSeq < loadSeq
+			if f.FaultInvertAge {
+				older = !older
+			}
+			if older {
 				f.hits++
 				return FCHit{SRLIndex: set[i].srlIndex, StoreSeq: set[i].storeSeq}, true
 			}
@@ -111,8 +127,11 @@ func (f *FC) DiscardAll() {
 	}
 }
 
-// SquashYoungerThan flash-clears entries produced by stores younger than
-// seq (checkpoint restart).
+// SquashYoungerThan flash-clears entries produced by stores strictly
+// younger than seq: an entry survives iff its producer's storeSeq <= seq.
+// This is the repo-wide squash convention (see StoreQueue.SquashYoungerThan);
+// callers restarting at a checkpoint whose first sequence number is
+// fromSeq pass fromSeq-1.
 func (f *FC) SquashYoungerThan(seq uint64) {
 	for si := range f.sets {
 		set := f.sets[si]

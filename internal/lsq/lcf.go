@@ -28,7 +28,8 @@ func (h HashKind) String() string {
 type LCF struct {
 	count     []uint8
 	lastIndex []uint64
-	bits      uint // log2(entries)
+	sticky    []bool // saturated by an unrefusable insert; ignores Dec
+	bits      uint   // log2(entries)
 	hash      HashKind
 	maxCount  uint8
 
@@ -51,6 +52,7 @@ func NewLCF(entries int, hash HashKind, counterBits uint) *LCF {
 	return &LCF{
 		count:     make([]uint8, entries),
 		lastIndex: make([]uint64, entries),
+		sticky:    make([]bool, entries),
 		bits:      bits,
 		hash:      hash,
 		maxCount:  uint8(1<<counterBits - 1),
@@ -83,6 +85,14 @@ func (f *LCF) idx(addr uint64) uint64 {
 // indexed forwarding. It returns false when the counter is saturated, in
 // which case the caller must stall SRL allocation (the paper's overflow
 // rule).
+//
+// lastIndex must point at the *youngest* counted store mapping to the
+// entry: indexed forwarding assumes it. Stores usually enter the SRL in
+// program order, but a reserved slot filled out of order counts late — so
+// lastIndex only moves forward (SRL virtual indices are monotonic in
+// program order). The one exception is the 0→1 transition, where the
+// stored index belongs to an already-drained store and must be replaced
+// unconditionally.
 func (f *LCF) Inc(addr uint64, srlIndex uint64) bool {
 	i := f.idx(addr)
 	if f.count[i] == f.maxCount {
@@ -90,18 +100,49 @@ func (f *LCF) Inc(addr uint64, srlIndex uint64) bool {
 		return false
 	}
 	f.count[i]++
-	f.lastIndex[i] = srlIndex
+	if f.count[i] == 1 || srlIndex > f.lastIndex[i] {
+		f.lastIndex[i] = srlIndex
+	}
 	f.increments++
 	return true
 }
 
-// Dec records a store leaving the SRL (redo drain or squash).
+// IncSticky records a store that cannot be refused — a reserved SRL slot
+// filled late, after its address resolves. Where Inc stalls allocation on a
+// saturated counter, a late fill has no stall option: the slot is already
+// allocated in program order. A saturated counter therefore pins at its
+// maximum ("sticky") and ignores decrements from then on — once it has
+// absorbed more inserts than it can count, any decrement could zero it
+// while matching stores remain in the SRL, breaking the filter's
+// no-false-negatives guarantee. Sticky state clears when the SRL empties
+// and the owner calls Reset (every counter is provably zero then).
+func (f *LCF) IncSticky(addr uint64, srlIndex uint64) {
+	i := f.idx(addr)
+	if f.count[i] >= f.maxCount {
+		f.count[i] = f.maxCount
+		f.sticky[i] = true
+		f.overflows++
+	} else {
+		f.count[i]++
+		f.increments++
+	}
+	if f.count[i] == 1 || srlIndex > f.lastIndex[i] {
+		f.lastIndex[i] = srlIndex
+	}
+}
+
+// Dec records a store leaving the SRL (redo drain or squash). A sticky
+// counter (see IncSticky) absorbs the decrement: its true population is
+// unknown, so it must stay conservatively non-zero until Reset.
 func (f *LCF) Dec(addr uint64) {
 	i := f.idx(addr)
+	f.decrements++
+	if f.sticky[i] {
+		return
+	}
 	if f.count[i] > 0 {
 		f.count[i]--
 	}
-	f.decrements++
 }
 
 // Probe checks whether a load at addr may have a matching store in the SRL.
@@ -128,11 +169,14 @@ func (f *LCF) Peek(addr uint64) (mayMatch bool, lastSRLIndex uint64) {
 	return true, f.lastIndex[i]
 }
 
-// Reset clears every counter (full-window squash).
+// Reset clears every counter and all sticky state. Sound whenever the SRL
+// is empty (episode end, full squash): an empty SRL means every counter's
+// true population is zero.
 func (f *LCF) Reset() {
 	for i := range f.count {
 		f.count[i] = 0
 		f.lastIndex[i] = 0
+		f.sticky[i] = false
 	}
 }
 

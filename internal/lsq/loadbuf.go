@@ -197,9 +197,26 @@ func (b *LoadBuffer) CommitCkpt(ckpt int) int {
 	return b.removeIf(func(e *LoadEntry) bool { return e.Ckpt == ckpt })
 }
 
-// SquashYoungerThan removes entries of loads younger than seq (restart).
+// SquashYoungerThan removes entries of loads strictly younger than seq: an
+// entry survives iff its Seq <= seq. This is the repo-wide squash
+// convention (see StoreQueue.SquashYoungerThan); callers restarting at a
+// checkpoint whose first sequence number is fromSeq pass fromSeq-1.
 func (b *LoadBuffer) SquashYoungerThan(seq uint64) int {
 	return b.removeIf(func(e *LoadEntry) bool { return e.Seq > seq })
+}
+
+// ForEach visits every resident entry (sets in index order, then the
+// victim buffer). For the differential checker's monotonicity sweep.
+func (b *LoadBuffer) ForEach(fn func(e *LoadEntry)) {
+	for si := range b.sets {
+		set := b.sets[si]
+		for i := range set {
+			fn(&set[i])
+		}
+	}
+	for i := range b.victim {
+		fn(&b.victim[i])
+	}
 }
 
 func (b *LoadBuffer) removeIf(pred func(*LoadEntry) bool) int {

@@ -60,8 +60,11 @@ func (t *OrderTracker) AllLoadsOlderThanDone(seq uint64) bool {
 // Outstanding returns the number of loads allocated but not completed.
 func (t *OrderTracker) Outstanding() int { return len(t.outstanding) }
 
-// SquashYoungerThan discards outstanding loads younger than seq (checkpoint
-// restart): their bits are bulk-cleared so they never gate the SRL head.
+// SquashYoungerThan discards outstanding loads strictly younger than seq:
+// a load survives iff its Seq <= seq, so its bit keeps gating the SRL head.
+// This is the repo-wide squash convention (see StoreQueue.SquashYoungerThan);
+// callers restarting at a checkpoint whose first sequence number is fromSeq
+// pass fromSeq-1.
 func (t *OrderTracker) SquashYoungerThan(seq uint64) {
 	for s := range t.outstanding {
 		if s > seq {

@@ -121,9 +121,20 @@ func (s *SRL) IndexedRead(idx uint64) *StoreEntry {
 	return s.Get(idx)
 }
 
-// SquashYoungerThan removes entries with Seq > seq from the tail (a
-// checkpoint restart discards stores after the checkpoint). It returns the
-// removed entries so the caller can decrement LCF counters.
+// ForEach visits resident entries oldest-first, passing each entry's
+// position from the head (virtual index = HeadIndex()+i). For the
+// differential checker's FIFO/coverage sweeps.
+func (s *SRL) ForEach(fn func(i int, e *StoreEntry)) {
+	for i := 0; i < s.count; i++ {
+		fn(i, &s.entries[(s.head+i)%len(s.entries)])
+	}
+}
+
+// SquashYoungerThan removes entries strictly younger than seq from the
+// tail: an entry survives iff its Seq <= seq. This is the repo-wide squash
+// convention (see StoreQueue.SquashYoungerThan); callers restarting at a
+// checkpoint whose first sequence number is fromSeq pass fromSeq-1. It
+// returns the removed entries so the caller can decrement LCF counters.
 func (s *SRL) SquashYoungerThan(seq uint64) []StoreEntry {
 	var removed []StoreEntry
 	for s.count > 0 {

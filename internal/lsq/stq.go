@@ -188,9 +188,14 @@ func (q *StoreQueue) Search(addr uint64, size uint8, loadSeq uint64) SearchResul
 	return res
 }
 
-// SquashYoungerThan removes all entries with Seq > seq (checkpoint restart)
-// and returns the removed entries (youngest first), so the caller can
-// maintain side structures such as the MTB.
+// SquashYoungerThan removes all entries strictly younger than seq: an
+// entry survives iff its Seq <= seq. This exclusive boundary is the
+// repo-wide squash convention — every SquashYoungerThan in this package
+// (StoreQueue, SRL, FC, LoadBuffer, OrderTracker) keeps seq itself and
+// removes Seq > seq, and a caller restarting at a checkpoint whose first
+// sequence number is fromSeq passes fromSeq-1. The removed entries are
+// returned (youngest first) so the caller can maintain side structures
+// such as the MTB.
 func (q *StoreQueue) SquashYoungerThan(seq uint64) []StoreEntry {
 	var removed []StoreEntry
 	for q.count > 0 {

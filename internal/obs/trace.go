@@ -33,6 +33,9 @@ const (
 	EvOverflowViolation
 	// EvBranchMispredict: a mispredicted branch resolved (Arg = PC).
 	EvBranchMispredict
+	// EvDivergence: the differential oracle detected a disagreement with
+	// the reference memory system (Arg = address).
+	EvDivergence
 
 	numEventKinds
 )
@@ -48,6 +51,7 @@ var eventNames = [numEventKinds]string{
 	EvSnoopViolation:    "snoop-violation",
 	EvOverflowViolation: "overflow-violation",
 	EvBranchMispredict:  "branch-mispredict",
+	EvDivergence:        "divergence",
 }
 
 // eventCats groups kinds into Chrome trace categories so Perfetto's track
@@ -63,6 +67,7 @@ var eventCats = [numEventKinds]string{
 	EvSnoopViolation:    "violation",
 	EvOverflowViolation: "violation",
 	EvBranchMispredict:  "recovery",
+	EvDivergence:        "violation",
 }
 
 // String returns the event kind's stable name.

@@ -101,6 +101,59 @@ func Record(w io.Writer, src Source, n uint64) error {
 	return tw.Flush()
 }
 
+// WriteRecords serialises a complete micro-op slice as one trace file — the
+// writer the divergence minimizer uses to emit replayable traces.
+func WriteRecords(w io.Writer, uops []isa.Uop) error {
+	tw, err := NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, u := range uops {
+		if err := tw.Write(u); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadRecords parses a whole trace file into memory (one pass, no looping) —
+// the counterpart of WriteRecords for replaying minimized divergence traces.
+func ReadRecords(rd io.Reader) ([]isa.Uop, error) {
+	br := bufio.NewReaderSize(rd, 1<<16)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:]); got != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", got)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[4:]); got != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", got)
+	}
+	var uops []isa.Uop
+	for {
+		var rec [recordBytes]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if err == io.EOF {
+				return uops, nil
+			}
+			return nil, fmt.Errorf("trace: reading record %d: %w", len(uops), err)
+		}
+		uops = append(uops, isa.Uop{
+			Seq:    binary.LittleEndian.Uint64(rec[0:]),
+			PC:     binary.LittleEndian.Uint64(rec[8:]),
+			Addr:   binary.LittleEndian.Uint64(rec[16:]),
+			MemSeq: binary.LittleEndian.Uint64(rec[24:]),
+			Class:  isa.Class(rec[32]),
+			Src1:   int8(rec[33]),
+			Src2:   int8(rec[34]),
+			Dst:    int8(rec[35]),
+			Size:   rec[36],
+			Taken:  rec[37] != 0,
+		})
+	}
+}
+
 // Reader replays a recorded trace as a Source. When the trace is exhausted
 // it loops from the beginning (re-numbering sequence numbers so they stay
 // dense and monotonic), because the simulator expects an unbounded stream;

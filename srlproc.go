@@ -42,6 +42,7 @@ import (
 	"srlproc/internal/lsq"
 	"srlproc/internal/multicore"
 	"srlproc/internal/obs"
+	"srlproc/internal/oracle"
 	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
@@ -63,6 +64,13 @@ type Config = core.Config
 
 // Results is a simulation run's output.
 type Results = core.Results
+
+// Divergence is one mismatch between the pipeline and the lockstep
+// reference memory model, reported in Results.Divergences when the run was
+// executed with Config.Check set. A correct machine produces none; each
+// carries the divergence kind, the involved load/store sequence numbers
+// and the recent observability event trail.
+type Divergence = oracle.Divergence
 
 // Suite identifies a benchmark suite (Table 2).
 type Suite = trace.Suite
