@@ -3,7 +3,7 @@
 # sweep engine's worker pool is the default execution path for every
 # experiment. Run both before merging.
 
-.PHONY: tier1 verify lint bench fuzz
+.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz
 
 tier1:
 	go build ./... && go test ./...
@@ -24,7 +24,26 @@ lint:
 # The sweep-engine comparison: serial vs pooled vs pooled+memoized on the
 # Figure 6 matrix at QuickOptions scale.
 bench:
-	go test -run '^$$' -bench BenchmarkSweepMatrix -benchtime 1x .
+	go test -run '^$$' -bench BenchmarkSweepMatrix -benchtime 1x -benchmem .
+
+# Machine-readable perf trajectory: the cycle-loop micro-benchmarks (three
+# repetitions, minimum kept) plus the end-to-end sweep matrix, rendered to
+# BENCH_core.json by cmd/benchjson. This file is the CI bench gate's
+# baseline and the repo's recorded perf history — regenerate and commit it
+# when a PR intentionally shifts performance.
+BENCHOUT ?= BENCH_core.json
+BENCHRAW ?= /tmp/srlproc_bench_raw.txt
+bench-json:
+	@{ go test -run '^$$' -bench '^BenchmarkSweepMatrix$$/^serial$$' -benchtime 1x -benchmem . && \
+	   go test -run '^$$' -bench '^(BenchmarkCycleLoop|BenchmarkReadyHeap|BenchmarkIssueWidth)(/|$$)' \
+	       -benchtime 20000x -count 3 -benchmem ./internal/core ; } | tee $(BENCHRAW) | \
+	   go run ./cmd/benchjson -o $(BENCHOUT)
+	@echo "wrote $(BENCHOUT) (raw text: $(BENCHRAW))"
+
+# One-iteration compile-and-run pass over every benchmark in the repo, so
+# `go test ./...` runs that match no benchmarks cannot let them rot.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
 
 # Budgeted differential-oracle run (see internal/check): the seeded-bug and
 # regression-trace tests, the full-scale oracle sweep over every Figure 2/6

@@ -1,0 +1,240 @@
+// Command benchjson converts `go test -bench` output into a stable,
+// machine-readable JSON document, and compares two such documents for the
+// CI benchmark-regression gate.
+//
+// Parse mode (default) reads benchmark text from stdin and writes JSON:
+//
+//	go test -run '^$' -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_core.json
+//
+// Compare mode exits non-zero when a benchmark present in both documents
+// regressed beyond the threshold on ns/op or allocs/op:
+//
+//	go run ./cmd/benchjson -compare -old BENCH_main.json -new BENCH_pr.json -threshold 5
+//
+// When a benchmark ran multiple times (go test -count=N), the minimum of
+// each metric is kept: simulation workloads are deterministic, so the
+// minimum is the least-noisy estimate of the true cost.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's recorded measurements. NsPerOp, BytesPerOp
+// and AllocsPerOp come from -benchmem; Extra holds any custom
+// b.ReportMetric units (e.g. cache-hits).
+type Metrics struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Document is the BENCH_*.json schema: benchmark name (with the CPU-count
+// suffix stripped) to metrics.
+type Document struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "", "parse mode: output file (default stdout)")
+		compare   = flag.Bool("compare", false, "compare two documents instead of parsing")
+		oldPath   = flag.String("old", "", "compare mode: baseline document")
+		newPath   = flag.String("new", "", "compare mode: candidate document")
+		threshold = flag.Float64("threshold", 5, "compare mode: allowed regression in percent")
+	)
+	flag.Parse()
+
+	if *compare {
+		os.Exit(runCompare(*oldPath, *newPath, *threshold))
+	}
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(2)
+	}
+	b, _ := json.MarshalIndent(doc, "", "  ")
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+}
+
+// stripCPUSuffix removes go test's trailing -<GOMAXPROCS> from a benchmark
+// name so documents from machines with different core counts compare.
+func stripCPUSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func parse(f *os.File) (*Document, error) {
+	doc := &Document{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines are: Name N <value> <unit> [<value> <unit> ...]
+		if len(fields) < 4 {
+			continue
+		}
+		m := Metrics{NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				m.NsPerOp = v
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			default:
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[unit] = v
+			}
+		}
+		name := stripCPUSuffix(fields[0])
+		if prev, ok := doc.Benchmarks[name]; ok {
+			m = mergeMin(prev, m)
+		}
+		doc.Benchmarks[name] = m
+	}
+	return doc, sc.Err()
+}
+
+// mergeMin keeps the minimum of each metric across repeated runs
+// (-1 marks a metric the run did not report).
+func mergeMin(a, b Metrics) Metrics {
+	minOf := func(x, y float64) float64 {
+		if x < 0 {
+			return y
+		}
+		if y < 0 || x < y {
+			return x
+		}
+		return y
+	}
+	out := Metrics{
+		NsPerOp:     minOf(a.NsPerOp, b.NsPerOp),
+		BytesPerOp:  minOf(a.BytesPerOp, b.BytesPerOp),
+		AllocsPerOp: minOf(a.AllocsPerOp, b.AllocsPerOp),
+	}
+	for _, src := range []map[string]float64{a.Extra, b.Extra} {
+		for k, v := range src {
+			if out.Extra == nil {
+				out.Extra = map[string]float64{}
+			}
+			if cur, ok := out.Extra[k]; !ok || v < cur {
+				out.Extra[k] = v
+			}
+		}
+	}
+	return out
+}
+
+func load(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// runCompare prints a per-benchmark delta table and returns 1 when any
+// shared benchmark regressed beyond the threshold on ns/op or allocs/op.
+// New or vanished benchmarks are reported but never fail the gate (the
+// gate must not block adding or retiring benchmarks).
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldDoc, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newDoc, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	names := make([]string, 0, len(newDoc.Benchmarks))
+	for name := range newDoc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		nw := newDoc.Benchmarks[name]
+		od, ok := oldDoc.Benchmarks[name]
+		if !ok {
+			fmt.Printf("NEW    %-50s %12.0f ns/op %10.0f allocs/op\n", name, nw.NsPerOp, nw.AllocsPerOp)
+			continue
+		}
+		nsBad, nsDelta := regressed(od.NsPerOp, nw.NsPerOp, threshold)
+		alBad, alDelta := regressed(od.AllocsPerOp, nw.AllocsPerOp, threshold)
+		status := "ok    "
+		if nsBad || alBad {
+			status = "REGRES"
+			failed = true
+		}
+		fmt.Printf("%s %-50s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %10.0f -> %10.0f (%+6.1f%%)\n",
+			status, name, od.NsPerOp, nw.NsPerOp, nsDelta, od.AllocsPerOp, nw.AllocsPerOp, alDelta)
+	}
+	for name := range oldDoc.Benchmarks {
+		if _, ok := newDoc.Benchmarks[name]; !ok {
+			fmt.Printf("GONE   %s\n", name)
+		}
+	}
+	if failed {
+		fmt.Printf("\nbenchmark regression beyond %.1f%% threshold\n", threshold)
+		return 1
+	}
+	fmt.Printf("\nno regressions beyond %.1f%% threshold\n", threshold)
+	return 0
+}
+
+// regressed reports whether cur is worse than base by more than threshold
+// percent, and the percent delta. A zero baseline (the zero-allocation
+// steady state) regresses on any increase: there is no percentage of zero.
+func regressed(base, cur float64, threshold float64) (bool, float64) {
+	if base < 0 || cur < 0 {
+		return false, 0 // metric absent on one side
+	}
+	if base == 0 {
+		return cur > 0, 0
+	}
+	delta := (cur - base) / base * 100
+	return delta > threshold, delta
+}

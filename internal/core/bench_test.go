@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"srlproc/internal/trace"
+)
+
+// benchCore builds a core and warms it past the measurement reset so the
+// pools and heaps have grown to their working size.
+func benchCore(b *testing.B, d StoreDesign) *Core {
+	b.Helper()
+	cfg := DefaultConfig(d)
+	cfg.WarmupUops = 5_000
+	cfg.RunUops = 1 << 60 // never Done during the benchmark
+	c, err := New(cfg, trace.SINT2K)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c.MeasuredUops() < 20_000 {
+		c.StepCycle()
+	}
+	return c
+}
+
+// BenchmarkCycleLoop measures the steady-state cost of one simulated cycle
+// on a warmed core — the innermost signal the CI bench gate watches. After
+// the warm-up lap, allocs/op must stay at (or within rounding of) zero.
+func BenchmarkCycleLoop(b *testing.B) {
+	for _, d := range []StoreDesign{DesignBaseline, DesignSRL} {
+		b.Run(d.String(), func(b *testing.B) {
+			c := benchCore(b, d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.StepCycle()
+			}
+		})
+	}
+}
+
+// BenchmarkReadyHeap measures the scheduler ready-heap push/pop cycle with
+// the real readyEntry payload (the hot pair of the issue stage).
+func BenchmarkReadyHeap(b *testing.B) {
+	var h readyHeap
+	h.Grow(256)
+	var uops [64]dynUop
+	for i := range uops {
+		uops[i].u.Seq = uint64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range uops {
+			pushReady(&h, &uops[j])
+		}
+		for h.Len() > 0 {
+			h.PopMin()
+		}
+	}
+}
+
+// BenchmarkIssueWidth measures the cycle loop at different issue widths —
+// the knob design-point sweeps scale along, so its cost curve is the one a
+// perf regression distorts first.
+func BenchmarkIssueWidth(b *testing.B) {
+	for _, w := range []int{2, 6, 12} {
+		b.Run(map[int]string{2: "w2", 6: "w6", 12: "w12"}[w], func(b *testing.B) {
+			cfg := DefaultConfig(DesignSRL)
+			cfg.WarmupUops = 5_000
+			cfg.RunUops = 1 << 60
+			cfg.IssueWidth = w
+			c, err := New(cfg, trace.SINT2K)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for c.MeasuredUops() < 20_000 {
+				c.StepCycle()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.StepCycle()
+			}
+		})
+	}
+}
+
+// TestSteadyStateZeroAlloc is the allocation budget as a hard test: once a
+// core is warm, stepping it must not allocate on the hot path. A small
+// budget absorbs the rare amortized growth event (a slice or map passing a
+// new high-water mark deep into the run).
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	for _, d := range []StoreDesign{DesignBaseline, DesignSRL} {
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := DefaultConfig(d)
+			cfg.WarmupUops = 5_000
+			cfg.RunUops = 1 << 60
+			c, err := New(cfg, trace.SINT2K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c.MeasuredUops() < 50_000 {
+				c.StepCycle()
+			}
+			const cycles = 2_000
+			avg := testing.AllocsPerRun(10, func() {
+				for i := 0; i < cycles; i++ {
+					c.StepCycle()
+				}
+			})
+			// Budget: well under one allocation per hundred cycles.
+			if avg > cycles/100 {
+				t.Fatalf("steady state allocates %.1f times per %d cycles", avg, cycles)
+			}
+		})
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -32,8 +31,10 @@ type Core struct {
 	ckpts      []*ckptState
 	nextCkptID int
 
-	// Rename state: last writer of each architectural register.
-	lastWriter [isa.NumArchRegs]*dynUop
+	// Rename state: last writer of each architectural register
+	// (epoch-stamped; a stale reference means the writer committed and the
+	// value is architectural).
+	lastWriter [isa.NumArchRegs]uopRef
 
 	// Resource occupancy.
 	schedInt, schedFP, schedMem int
@@ -75,6 +76,16 @@ type Core struct {
 
 	// Uops deferred to the next cycle (MSHR-full retries).
 	deferred []*dynUop
+
+	// Steady-state allocation pools and scratch. uopFree recycles dynUops
+	// popped from the window at commit (epoch-bumped, so stale references
+	// self-invalidate); nodeFree recycles waiter-list nodes; ckptFree
+	// recycles checkpoint records; parkedScratch is issue()'s per-cycle
+	// holding pen for port-starved entries, reused across cycles.
+	uopFree       []*dynUop
+	nodeFree      *waiterNode
+	ckptFree      []*ckptState
+	parkedScratch []readyEntry
 
 	// pendingFetch holds a generated-but-not-yet-allocated uop so that a
 	// resource stall never drops an instruction from the stream.
@@ -183,6 +194,18 @@ func NewFromSource(cfg Config, src trace.Source, prof trace.Profile) (*Core, err
 	c.res.Suite = prof.Suite
 	c.res.Design = cfg.Design
 	c.recentLoads = make([]uint64, 64)
+	// Pre-size the scheduler heaps from the structures that bound their
+	// live population (the scheduler windows for ready, the slice data
+	// buffer and completion burst for the others): after at most one
+	// amortized growth lap to the run's true working size, the cycle loop
+	// never allocates. Sizing from WindowCap would be correct too but
+	// wastes ~0.7 MB per core across a sweep's many short-lived cores.
+	c.ready.Grow(cfg.SchedInt + cfg.SchedFP + cfg.SchedMem + cfg.IssueWidth)
+	c.sdb.Grow(256)
+	c.cmpl.Grow(256)
+	c.uopFree = make([]*dynUop, 0, 64)
+	c.ckptFree = make([]*ckptState, 0, cfg.Checkpoints+1)
+	c.parkedScratch = make([]readyEntry, 0, cfg.IssueWidth+2)
 	// Store identifiers start at 1: a load allocated before any store then
 	// carries nearestStoreID 0, which every magnitude age comparison reads
 	// as "older than all stores". Starting at 0 made that value underflow
@@ -241,7 +264,14 @@ func (c *Core) srlMode() bool {
 }
 
 func (c *Core) newCheckpoint(startSeq uint64) *ckptState {
-	ck := &ckptState{
+	var ck *ckptState
+	if n := len(c.ckptFree); n > 0 {
+		ck = c.ckptFree[n-1]
+		c.ckptFree = c.ckptFree[:n-1]
+	} else {
+		ck = &ckptState{}
+	}
+	*ck = ckptState{
 		id:           c.nextCkptID,
 		startSeq:     startSeq,
 		startStoreID: c.storeCounter,
@@ -251,6 +281,59 @@ func (c *Core) newCheckpoint(startSeq uint64) *ckptState {
 	c.ckpts = append(c.ckpts, ck)
 	c.obsEvent(obs.EvCheckpointCreate, uint64(ck.id))
 	return ck
+}
+
+// freeCkpt returns a checkpoint record to the pool. Identity is the
+// monotonic id (never reused), so stale id lookups via findCkpt stay safe.
+func (c *Core) freeCkpt(ck *ckptState) {
+	c.ckptFree = append(c.ckptFree, ck)
+}
+
+// newDynUop hands out a dynamic uop, recycling committed ones. A recycled
+// object keeps its (already bumped) epoch so references captured in its
+// previous life read as stale.
+func (c *Core) newDynUop(u isa.Uop) *dynUop {
+	if n := len(c.uopFree); n > 0 {
+		d := c.uopFree[n-1]
+		c.uopFree = c.uopFree[:n-1]
+		*d = dynUop{u: u, ckptID: -1, stqSlot: -1, epoch: d.epoch}
+		return d
+	}
+	return &dynUop{u: u, ckptID: -1, stqSlot: -1}
+}
+
+// freeUop recycles a committed uop popped from the window. The epoch bump
+// invalidates every outstanding reference (heap entries, producer refs,
+// rename snapshots); the fields themselves are wiped only at reuse, so a
+// waiter node that still points here sees committed=true and its original
+// sequence number — the same inert entry it would have seen before pooling.
+func (c *Core) freeUop(d *dynUop) {
+	if d.waiters != nil {
+		c.freeWaiterChain(d.waiters)
+		d.waiters = nil
+	}
+	d.epoch++
+	c.uopFree = append(c.uopFree, d)
+}
+
+// newWaiterNode draws a waiter-list node from the pool.
+func (c *Core) newWaiterNode() *waiterNode {
+	if n := c.nodeFree; n != nil {
+		c.nodeFree = n.next
+		return n
+	}
+	return &waiterNode{}
+}
+
+// freeWaiterChain returns a whole waiter list to the pool.
+func (c *Core) freeWaiterChain(n *waiterNode) {
+	for n != nil {
+		next := n.next
+		n.d = nil
+		n.next = c.nodeFree
+		c.nodeFree = n
+		n = next
+	}
 }
 
 func (c *Core) curCkpt() *ckptState { return c.ckpts[len(c.ckpts)-1] }
@@ -418,8 +501,12 @@ func (c *Core) step() {
 }
 
 func (c *Core) processCompletions() {
-	for c.cmpl.Len() > 0 && c.cmpl[0].cycle <= c.cycle {
-		ev := heap.Pop(&c.cmpl).(cmplEvent)
+	for c.cmpl.Len() > 0 {
+		cyc, _ := c.cmpl.Min()
+		if cyc > c.cycle {
+			break
+		}
+		_, ev := c.cmpl.PopMin()
 		if ev.d.epoch != ev.epoch {
 			continue // squashed
 		}
@@ -540,21 +627,21 @@ func (c *Core) debugState() string {
 		break
 	}
 	if c.sdb.Len() > 0 {
-		d := c.sdb[0].d
+		_, re := c.sdb.Min()
+		d := re.d
 		s += fmt.Sprintf("  sdb[0]: %s\n", d.u.String())
 		// Walk the producer chain of the SDB head.
 		cur := d
 		for hop := 0; hop < 12 && cur != nil; hop++ {
 			var next *dynUop
-			for j, p := range cur.prod {
-				if p != nil && !p.done && p.allocated {
+			for j, r := range cur.prod {
+				if p := r.live(); p != nil && !p.done && p.allocated {
 					s += fmt.Sprintf("   hop%d prod%d: %s done=%v pois=%v inSDB=%v inSched=%v issued=%v stall=%v pendSrc=%d missRet=%d\n",
 						hop, j, p.u.String(), p.done, p.poisoned, p.inSDB, p.inSched, p.issued, p.srlStalled, p.pendingSrc, p.missReturn)
 					next = p
 				}
 			}
-			if next == nil && cur.memDep != nil && !cur.memDep.done {
-				p := cur.memDep
+			if p := cur.memDep.live(); next == nil && p != nil && !p.done {
 				s += fmt.Sprintf("   hop%d memDep: %s done=%v pois=%v inSDB=%v inSched=%v issued=%v stall=%v pendSrc=%d missRet=%d\n",
 					hop, p.u.String(), p.done, p.poisoned, p.inSDB, p.inSched, p.issued, p.srlStalled, p.pendingSrc, p.missReturn)
 				next = p

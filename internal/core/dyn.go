@@ -1,22 +1,23 @@
 package core
 
 import (
-	"container/heap"
-
+	"srlproc/internal/heapq"
 	"srlproc/internal/isa"
 )
 
 // dynUop is the dynamic (per-instance) state of a micro-op in flight. The
 // same object survives checkpoint-restart replays; epoch invalidates stale
-// queue/heap references after a squash.
+// queue/heap references after a squash. Committed uops are recycled through
+// the core's free list (the window ring's companion pool), so any reference
+// that can outlive commit must be epoch-guarded — hence uopRef below.
 type dynUop struct {
 	u isa.Uop
 
-	// Dependences: producers of src1/src2 (nil when the value was already
-	// architectural at allocation) and the consumers to wake on
-	// availability.
-	prod    [2]*dynUop
-	waiters []*dynUop
+	// Dependences: producers of src1/src2 (zero uopRef when the value was
+	// already architectural at allocation) and the consumers to wake on
+	// availability (an intrusive list of pooled waiterNodes).
+	prod    [2]uopRef
+	waiters *waiterNode
 
 	pendingSrc int8
 	epoch      uint32
@@ -65,27 +66,65 @@ type dynUop struct {
 
 	// memDep is a store this load must wait for (predicted or detected
 	// memory dependence); the load re-executes once the store completes.
-	memDep *dynUop
+	memDep uopRef
+}
+
+// uopRef is an epoch-stamped reference to a dynUop. Committed uops are
+// recycled, so a bare pointer held across commit would silently start
+// describing a different micro-op; the epoch (bumped at every squash and at
+// every recycle) detects that. A stale reference means the original uop is
+// gone — and since a consumer is always younger than its producers, the
+// only way a producer disappears while the reference holder lives is
+// commit, so stale reads as "architecturally complete, not poisoned":
+// exactly what a committed producer's flags said before recycling.
+type uopRef struct {
+	d     *dynUop
+	epoch uint32
+}
+
+// ref captures an epoch-stamped reference to d at its current epoch.
+func ref(d *dynUop) uopRef { return uopRef{d: d, epoch: d.epoch} }
+
+// live returns the referenced uop, or nil if the reference is unset or the
+// uop has been squashed or recycled since capture.
+func (r uopRef) live() *dynUop {
+	if r.d != nil && r.d.epoch == r.epoch {
+		return r.d
+	}
+	return nil
+}
+
+// waiterNode is one entry in a producer's waiter list, drawn from the
+// core's node pool. seq pins the consumer's identity: a squashed-then-
+// replayed consumer keeps its sequence number (and must still be woken,
+// preserving the original list semantics), while a recycled consumer
+// object carries a new, strictly larger sequence number (and must not be).
+type waiterNode struct {
+	d    *dynUop
+	seq  uint64
+	next *waiterNode
 }
 
 func (d *dynUop) isLoad() bool  { return d.u.Class == isa.Load }
 func (d *dynUop) isStore() bool { return d.u.Class == isa.Store }
 
 // srcAvailable reports whether producer i is available (done, or poisoned —
-// poison is itself a value that propagates).
+// poison is itself a value that propagates; a stale reference means the
+// producer committed, which is also available).
 func (d *dynUop) srcAvailable(i int) bool {
-	p := d.prod[i]
+	p := d.prod[i].live()
 	return p == nil || p.done || p.poisoned
 }
 
 // anyPoisonedSrc reports whether any producer currently carries poison.
 func (d *dynUop) anyPoisonedSrc() bool {
-	for _, p := range d.prod {
-		if p != nil && p.poisoned && !p.done {
+	for _, r := range d.prod {
+		if p := r.live(); p != nil && p.poisoned && !p.done {
 			return true
 		}
 	}
-	return d.memDep != nil && d.memDep.poisoned && !d.memDep.done
+	m := d.memDep.live()
+	return m != nil && m.poisoned && !m.done
 }
 
 // --- window ring ---
@@ -143,71 +182,47 @@ func (w *window) indexOfSeq(seq uint64) int {
 }
 
 // --- event heaps ---
+//
+// Both scheduler heaps are heapq.Heap instances — index-based min-heaps
+// over preallocated slices, no interface boxing on Push/Pop. The ready/SDB
+// heaps key on sequence number (oldest schedulable uop first); the
+// completion heap keys on the event's cycle. Entries carry the uop's epoch
+// at insertion so squashes invalidate them lazily.
 
-type cmplEvent struct {
-	cycle uint64
-	d     *dynUop
-	epoch uint32
-}
-
-type cmplHeap []cmplEvent
-
-func (h cmplHeap) Len() int           { return len(h) }
-func (h cmplHeap) Less(i, j int) bool { return h[i].cycle < h[j].cycle }
-func (h cmplHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *cmplHeap) Push(x interface{}) {
-	*h = append(*h, x.(cmplEvent))
-}
-func (h *cmplHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
+// readyEntry is the payload of the ready and SDB heaps (key: d.u.Seq).
 type readyEntry struct {
 	d     *dynUop
 	epoch uint32
 }
 
-// readyHeap orders schedulable uops oldest-first (sequence number).
-type readyHeap []readyEntry
+type readyHeap = heapq.Heap[readyEntry]
 
-func (h readyHeap) Len() int           { return len(h) }
-func (h readyHeap) Less(i, j int) bool { return h[i].d.u.Seq < h[j].d.u.Seq }
-func (h readyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) {
-	*h = append(*h, x.(readyEntry))
+// cmplEvent is the payload of the completion heap (key: completion cycle).
+type cmplEvent struct {
+	d     *dynUop
+	epoch uint32
 }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+
+type cmplHeap = heapq.Heap[cmplEvent]
 
 func pushCmpl(h *cmplHeap, cycle uint64, d *dynUop) {
-	heap.Push(h, cmplEvent{cycle: cycle, d: d, epoch: d.epoch})
+	h.Push(cycle, cmplEvent{d: d, epoch: d.epoch})
 }
 
 func pushReady(h *readyHeap, d *dynUop) {
-	heap.Push(h, readyEntry{d: d, epoch: d.epoch})
-}
-
-func heapPopSDB(h *readyHeap) {
-	heap.Pop(h)
+	h.Push(d.u.Seq, readyEntry{d: d, epoch: d.epoch})
 }
 
 // --- checkpoints ---
 
-// ckptState is one CPR map-table checkpoint.
+// ckptState is one CPR map-table checkpoint. Instances are recycled
+// through the core's checkpoint free list; identity is the monotonic id,
+// never the pointer.
 type ckptState struct {
 	id           int
 	startSeq     uint64
 	startStoreID uint64
-	renameSnap   [isa.NumArchRegs]*dynUop
+	renameSnap   [isa.NumArchRegs]uopRef
 	pending      int // allocated-but-not-completed uops
 	uops         int // uops allocated into this checkpoint
 	closed       bool

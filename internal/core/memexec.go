@@ -65,7 +65,7 @@ func (c *Core) deferOneCycle(d *dynUop) {
 // miss slice the load joins the slice (poison bits via the dependence
 // predictor, Section 2.1); otherwise it waits in the scheduler.
 func (c *Core) blockOnStore(d, s *dynUop) {
-	d.memDep = s
+	d.memDep = ref(s)
 	if s.poisoned && !s.done {
 		c.leaveSched(d)
 		c.drainToSDB(d)

@@ -69,8 +69,9 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 		d.poisoned = false
 		d.inSDB = false
 		d.pendingSrc = 0
+		c.freeWaiterChain(d.waiters)
 		d.waiters = nil
-		d.prod[0], d.prod[1] = nil, nil
+		d.prod[0], d.prod[1] = uopRef{}, uopRef{}
 		d.missReturn = 0
 		d.srlReserved = false
 		d.srlIdx = 0
@@ -79,7 +80,7 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 		d.inL2STQ = false
 		d.stqSlot = -1
 		d.fwdStoreID = 0
-		d.memDep = nil
+		d.memDep = uopRef{}
 		d.inUnknownList = false
 		d.ldbufInserted = false
 		// d.everInSDB is deliberately preserved: miss-dependence is
@@ -93,7 +94,8 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 	// Slice data buffer (stale heap entries are dropped lazily; recount the
 	// live population) and companion lists.
 	live := 0
-	for _, re := range c.sdb {
+	for i := 0; i < c.sdb.Len(); i++ {
+		_, re := c.sdb.At(i)
 		if re.d.allocated && re.d.inSDB && re.epoch == re.d.epoch {
 			live++
 		}
@@ -152,6 +154,10 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 	// Checkpoint file: free everything younger than ck, reset ck itself.
 	for i, k := range c.ckpts {
 		if k.id == ck.id {
+			for j := i + 1; j < len(c.ckpts); j++ {
+				c.freeCkpt(c.ckpts[j])
+				c.ckpts[j] = nil
+			}
 			c.ckpts = c.ckpts[:i+1]
 			break
 		}

@@ -1,35 +1,65 @@
 package core
 
 import (
-	"container/heap"
-
 	"srlproc/internal/isa"
 	"srlproc/internal/lsq"
 	"srlproc/internal/obs"
 )
 
-// waiter registration: consumers subscribe to producers with their epoch so
-// a squashed consumer's stale subscription is ignored.
+// waiter registration: consumers subscribe to producers through pooled
+// intrusive list nodes. The node pins the consumer's sequence number, not
+// its pointer identity: a squashed-then-replayed consumer keeps its seq and
+// must still be woken, while a recycled consumer object carries a new,
+// strictly larger seq and the stale node is inert.
 func (c *Core) addWaiter(producer, consumer *dynUop) {
 	consumer.pendingSrc++
-	producer.waiters = append(producer.waiters, consumer)
+	n := c.newWaiterNode()
+	n.d = consumer
+	n.seq = consumer.u.Seq
+	n.next = producer.waiters
+	producer.waiters = n
 }
 
 // wakeWaiters notifies consumers that d's value (or poison) is available.
+// List order does not affect behavior: woken consumers are pushed into the
+// ready heap keyed by their distinct sequence numbers, and a min-heap pops
+// distinct keys in sorted order regardless of push order.
 func (c *Core) wakeWaiters(d *dynUop) {
-	ws := d.waiters
+	n := d.waiters
 	d.waiters = nil
-	for _, w := range ws {
-		if !w.allocated || w.committed {
-			continue
+	for n != nil {
+		next := n.next
+		w := n.d
+		if n.seq == w.u.Seq && w.allocated && !w.committed {
+			if w.pendingSrc > 0 {
+				w.pendingSrc--
+			}
+			if w.pendingSrc == 0 && w.inSched {
+				pushReady(&c.ready, w)
+			}
 		}
-		if w.pendingSrc > 0 {
-			w.pendingSrc--
-		}
-		if w.pendingSrc == 0 && w.inSched {
-			pushReady(&c.ready, w)
-		}
+		n.d = nil
+		n.next = c.nodeFree
+		c.nodeFree = n
+		n = next
 	}
+}
+
+// sdbCauseNames precomputes the per-class SDB-cause counter names so the
+// drain path does not concatenate strings per poisoned uop.
+var sdbCauseNames = func() [isa.NumClasses]string {
+	var names [isa.NumClasses]string
+	for cl := isa.Class(0); cl < isa.NumClasses; cl++ {
+		names[cl] = "sdb_cause_poisoned_src_" + cl.String()
+	}
+	return names
+}()
+
+func sdbCauseName(cl isa.Class) string {
+	if cl < isa.NumClasses {
+		return sdbCauseNames[cl]
+	}
+	return "sdb_cause_poisoned_src_" + cl.String()
 }
 
 // --- resource helpers ---
@@ -154,13 +184,14 @@ func (c *Core) drainToSDB(d *dynUop) {
 		if d.isStore() {
 			c.res.MissDependentStores++
 		}
+		m := d.memDep.live()
 		switch {
 		case d.missReturn > 0:
 			c.metrics.Inc(obs.MetricSDBCauseMissRoot)
-		case d.memDep != nil && d.memDep.poisoned && !d.memDep.done:
+		case m != nil && m.poisoned && !m.done:
 			c.metrics.Inc(obs.MetricSDBCauseMemDep)
 		default:
-			c.counters.Inc("sdb_cause_poisoned_src_" + d.u.Class.String())
+			c.counters.Inc(sdbCauseName(d.u.Class))
 		}
 	}
 	if c.sdbCount < c.cfg.SDBSize {
@@ -174,7 +205,7 @@ func (c *Core) drainToSDB(d *dynUop) {
 	// store queue entry so loads can disambiguate against it; otherwise the
 	// store's address is unknown and the dependence predictor screens loads.
 	if d.isStore() {
-		ap := d.prod[0]
+		ap := d.prod[0].live()
 		if (ap == nil || ap.done) && !d.addrKnown {
 			if e := c.locateStoreEntry(d); e != nil {
 				e.AddrKnown = true
@@ -201,14 +232,22 @@ func (c *Core) drainToSDB(d *dynUop) {
 }
 
 func (c *Core) movePendingDrains() {
-	for len(c.pendDrain) > 0 && c.sdbCount < c.cfg.SDBSize {
-		d := c.pendDrain[0]
-		c.pendDrain = c.pendDrain[1:]
+	i := 0
+	for i < len(c.pendDrain) && c.sdbCount < c.cfg.SDBSize {
+		d := c.pendDrain[i]
+		i++
 		if d.poisoned && !d.inSDB && d.allocated {
 			d.inSDB = true
 			c.sdbCount++
 			pushReady(&c.sdb, d)
 		}
+	}
+	if i > 0 {
+		n := copy(c.pendDrain, c.pendDrain[i:])
+		for j := n; j < len(c.pendDrain); j++ {
+			c.pendDrain[j] = nil
+		}
+		c.pendDrain = c.pendDrain[:n]
 	}
 	if len(c.pendDrain) > 0 {
 		c.res.StallSDB++
@@ -225,7 +264,7 @@ func (c *Core) sliceHeadReady(d *dynUop) bool {
 			return false
 		}
 	}
-	if m := d.memDep; m != nil && !m.done && !m.poisoned && m.allocated {
+	if m := d.memDep.live(); m != nil && !m.done && !m.poisoned && m.allocated {
 		return false
 	}
 	return true
@@ -238,9 +277,9 @@ func (c *Core) sliceHeadReady(d *dynUop) bool {
 // entries (squashed or already-removed uops).
 func (c *Core) sdbHead() *dynUop {
 	for c.sdb.Len() > 0 {
-		re := c.sdb[0]
+		_, re := c.sdb.Min()
 		if re.epoch != re.d.epoch || !re.d.allocated || !re.d.inSDB || !re.d.poisoned {
-			heapPopSDB(&c.sdb)
+			c.sdb.PopMin()
 			continue
 		}
 		return re.d
@@ -249,7 +288,7 @@ func (c *Core) sdbHead() *dynUop {
 }
 
 func (c *Core) popSDB(d *dynUop) {
-	heapPopSDB(&c.sdb)
+	c.sdb.PopMin()
 	d.inSDB = false
 	c.sdbCount--
 }
@@ -548,13 +587,17 @@ func (c *Core) commitCheckpoints() {
 					}
 				}
 			}
+			c.freeUop(d)
 		}
 		c.ldbuf.CommitCkpt(ck.id)
 		c.mem.L1.CommitSpec(ck.id)
 		if c.chk != nil {
 			c.chkSweep()
 		}
-		c.ckpts = c.ckpts[1:]
+		n := copy(c.ckpts, c.ckpts[1:])
+		c.ckpts[n] = nil
+		c.ckpts = c.ckpts[:n]
+		c.freeCkpt(ck)
 		if len(c.ckpts) == 0 {
 			// Always keep a live checkpoint to allocate into.
 			c.newCheckpoint(c.lastCommittedSeq + 1)
@@ -576,9 +619,9 @@ func (c *Core) issue() {
 	budget := c.cfg.IssueWidth
 	loadP := c.cfg.LoadPorts
 	storeP := c.cfg.StorePorts
-	var parked []readyEntry
+	parked := c.parkedScratch[:0]
 	for budget > 0 && c.ready.Len() > 0 {
-		re := heap.Pop(&c.ready).(readyEntry)
+		_, re := c.ready.PopMin()
 		d := re.d
 		if re.epoch != d.epoch || !d.inSched || d.pendingSrc > 0 {
 			continue
@@ -606,8 +649,11 @@ func (c *Core) issue() {
 		c.execute(d)
 	}
 	for _, re := range parked {
-		heap.Push(&c.ready, re)
+		// Re-insert with the captured epoch (not a fresh one): the entry
+		// must stay invalid if the uop was squashed while parked.
+		c.ready.Push(re.d.u.Seq, re)
 	}
+	c.parkedScratch = parked[:0]
 }
 
 // --- allocate / fetch ---
@@ -630,7 +676,7 @@ func (c *Core) allocate() {
 				return
 			}
 			u := c.gen.Next()
-			d = &dynUop{u: u, ckptID: -1, stqSlot: -1}
+			d = c.newDynUop(u)
 			c.pendingFetch = d
 		}
 
@@ -720,24 +766,27 @@ func (c *Core) allocate() {
 		ck.pending++
 		ck.uops++
 
-		// Dependences from the rename state.
+		// Dependences from the rename state. A stale lastWriter reference
+		// means the producer committed (its value is architectural), so the
+		// source needs no producer link — same as the register being clean.
 		d.pendingSrc = 0
-		d.prod[0], d.prod[1] = nil, nil
+		d.prod[0], d.prod[1] = uopRef{}, uopRef{}
 		for i, src := range [2]int8{d.u.Src1, d.u.Src2} {
 			if src == isa.NoReg {
 				continue
 			}
-			p := c.lastWriter[src]
+			r := c.lastWriter[src]
+			p := r.live()
 			if p == nil {
 				continue
 			}
-			d.prod[i] = p
+			d.prod[i] = r
 			if !p.done && !p.poisoned {
 				c.addWaiter(p, d)
 			}
 		}
 		if d.u.Dst != isa.NoReg {
-			c.lastWriter[d.u.Dst] = d
+			c.lastWriter[d.u.Dst] = ref(d)
 			c.regTake(d)
 		}
 		c.schedTake(d.u.Class)

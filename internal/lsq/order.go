@@ -1,6 +1,6 @@
 package lsq
 
-import "container/heap"
+import "srlproc/internal/heapq"
 
 // OrderTracker models the write-after-read bit array of Section 4.3: the
 // store at the SRL head may update the cache during redo only after all
@@ -13,8 +13,10 @@ import "container/heap"
 // A load may be allocated, squashed by a checkpoint restart, and allocated
 // again with the same sequence number; the tracker therefore deduplicates
 // heap entries and keeps the authoritative outstanding set separately.
+// The heap is an index-based heapq.Heap rather than container/heap so the
+// per-load Push/Pop does not box its uint64 through an interface value.
 type OrderTracker struct {
-	h           seqHeap
+	h           heapq.Heap[struct{}]
 	inHeap      map[uint64]bool
 	outstanding map[uint64]bool
 }
@@ -32,7 +34,7 @@ func (t *OrderTracker) LoadAllocated(seq uint64) {
 	t.outstanding[seq] = true
 	if !t.inHeap[seq] {
 		t.inHeap[seq] = true
-		heap.Push(&t.h, seq)
+		t.h.Push(seq, struct{}{})
 	}
 }
 
@@ -43,9 +45,13 @@ func (t *OrderTracker) LoadCompleted(seq uint64) {
 }
 
 func (t *OrderTracker) drain() {
-	for t.h.Len() > 0 && !t.outstanding[t.h[0]] {
-		delete(t.inHeap, t.h[0])
-		heap.Pop(&t.h)
+	for t.h.Len() > 0 {
+		seq, _ := t.h.Min()
+		if t.outstanding[seq] {
+			break
+		}
+		delete(t.inHeap, seq)
+		t.h.PopMin()
 	}
 }
 
@@ -54,7 +60,11 @@ func (t *OrderTracker) drain() {
 // never share a sequence number, so the boundary case is moot in practice).
 func (t *OrderTracker) AllLoadsOlderThanDone(seq uint64) bool {
 	t.drain()
-	return t.h.Len() == 0 || t.h[0] >= seq
+	if t.h.Len() == 0 {
+		return true
+	}
+	oldest, _ := t.h.Min()
+	return oldest >= seq
 }
 
 // Outstanding returns the number of loads allocated but not completed.
@@ -76,21 +86,7 @@ func (t *OrderTracker) SquashYoungerThan(seq uint64) {
 
 // Reset clears the tracker (full squash).
 func (t *OrderTracker) Reset() {
-	t.h = t.h[:0]
+	t.h.Reset()
 	t.inHeap = make(map[uint64]bool)
 	t.outstanding = make(map[uint64]bool)
-}
-
-type seqHeap []uint64
-
-func (h seqHeap) Len() int            { return len(h) }
-func (h seqHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *seqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

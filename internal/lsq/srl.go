@@ -21,6 +21,10 @@ type SRL struct {
 	writes       uint64 // RAM writes (allocate/fill)
 	reads        uint64 // RAM reads (drain/indexed forward)
 	indexedReads uint64
+
+	// squashScratch backs SquashYoungerThan's returned slice, so squashes
+	// allocate nothing in the steady state.
+	squashScratch []StoreEntry
 }
 
 // NewSRL creates a store redo log with the given capacity (the paper uses
@@ -134,9 +138,11 @@ func (s *SRL) ForEach(fn func(i int, e *StoreEntry)) {
 // tail: an entry survives iff its Seq <= seq. This is the repo-wide squash
 // convention (see StoreQueue.SquashYoungerThan); callers restarting at a
 // checkpoint whose first sequence number is fromSeq pass fromSeq-1. It
-// returns the removed entries so the caller can decrement LCF counters.
+// returns the removed entries so the caller can decrement LCF counters; the
+// returned slice aliases a reusable scratch buffer and is valid only until
+// the next SquashYoungerThan call.
 func (s *SRL) SquashYoungerThan(seq uint64) []StoreEntry {
-	var removed []StoreEntry
+	removed := s.squashScratch[:0]
 	for s.count > 0 {
 		tail := &s.entries[(s.head+s.count-1)%len(s.entries)]
 		if tail.Seq <= seq {
@@ -145,5 +151,6 @@ func (s *SRL) SquashYoungerThan(seq uint64) []StoreEntry {
 		removed = append(removed, *tail)
 		s.count--
 	}
+	s.squashScratch = removed[:0]
 	return removed
 }

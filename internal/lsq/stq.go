@@ -48,7 +48,8 @@ type SearchResult struct {
 	// predictor).
 	UnknownOlder bool
 	// UnknownSeqs lists the sequence numbers of those unknown-address
-	// older stores, youngest first.
+	// older stores, youngest first. The slice aliases a per-queue scratch
+	// buffer and is valid only until the queue's next Search call.
 	UnknownSeqs []uint64
 	// PoisonedMatch is true when the matching store's data is not ready
 	// (a miss-dependent store): the load must join the slice.
@@ -69,6 +70,12 @@ type StoreQueue struct {
 	searches    uint64 // CAM search operations
 	camEntryOps uint64 // per-entry comparisons (power proxy)
 	forwards    uint64
+
+	// Reusable result buffers: Search and SquashYoungerThan return slices
+	// backed by these, so the steady state allocates nothing. Each is valid
+	// only until the next call of the same method on this queue.
+	unknownScratch []uint64
+	squashScratch  []StoreEntry
 }
 
 // NewStoreQueue creates a store queue with capacity entries and the given
@@ -162,6 +169,7 @@ func (q *StoreQueue) Find(seq uint64) *StoreEntry {
 func (q *StoreQueue) Search(addr uint64, size uint8, loadSeq uint64) SearchResult {
 	q.searches++
 	var res SearchResult
+	res.UnknownSeqs = q.unknownScratch[:0]
 	for i := q.count - 1; i >= 0; i-- { // youngest first
 		e := q.at(i)
 		if e.Seq >= loadSeq {
@@ -182,6 +190,10 @@ func (q *StoreQueue) Search(addr uint64, size uint8, loadSeq uint64) SearchResul
 			// scanning for them only.
 		}
 	}
+	q.unknownScratch = res.UnknownSeqs[:0]
+	if len(res.UnknownSeqs) == 0 {
+		res.UnknownSeqs = nil
+	}
 	if res.Hit {
 		q.forwards++
 	}
@@ -195,9 +207,10 @@ func (q *StoreQueue) Search(addr uint64, size uint8, loadSeq uint64) SearchResul
 // removes Seq > seq, and a caller restarting at a checkpoint whose first
 // sequence number is fromSeq passes fromSeq-1. The removed entries are
 // returned (youngest first) so the caller can maintain side structures
-// such as the MTB.
+// such as the MTB. The returned slice aliases a per-queue scratch buffer
+// and is valid only until this queue's next SquashYoungerThan call.
 func (q *StoreQueue) SquashYoungerThan(seq uint64) []StoreEntry {
-	var removed []StoreEntry
+	removed := q.squashScratch[:0]
 	for q.count > 0 {
 		tail := q.at(q.count - 1)
 		if tail.Seq <= seq {
@@ -206,6 +219,7 @@ func (q *StoreQueue) SquashYoungerThan(seq uint64) []StoreEntry {
 		removed = append(removed, *tail)
 		q.count--
 	}
+	q.squashScratch = removed[:0]
 	return removed
 }
 
