@@ -3,7 +3,7 @@
 # sweep engine's worker pool is the default execution path for every
 # experiment. Run both before merging.
 
-.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz
+.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz serve serve-smoke
 
 tier1:
 	go build ./... && go test ./...
@@ -44,6 +44,19 @@ bench-json:
 # `go test ./...` runs that match no benchmarks cannot let them rot.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Run the simulator as a long-lived HTTP service (cmd/srlserved). SIGTERM
+# or Ctrl-C drains gracefully: in-flight jobs finish, then the process
+# exits 0.
+SERVE_ADDR ?= :8080
+serve:
+	go run ./cmd/srlserved -addr $(SERVE_ADDR)
+
+# End-to-end service smoke test, mirrored by the CI serve-smoke step:
+# start srlserved, run one simulate and one sweep request, check /healthz
+# and /metrics, then SIGTERM it and require a clean drain (exit 0).
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Budgeted differential-oracle run (see internal/check): the seeded-bug and
 # regression-trace tests, the full-scale oracle sweep over every Figure 2/6

@@ -21,6 +21,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -54,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		os.Exit(runCompare(*oldPath, *newPath, *threshold))
+		os.Exit(runCompare(os.Stdout, *oldPath, *newPath, *threshold))
 	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
@@ -173,11 +175,11 @@ func load(path string) (*Document, error) {
 	return &doc, nil
 }
 
-// runCompare prints a per-benchmark delta table and returns 1 when any
-// shared benchmark regressed beyond the threshold on ns/op or allocs/op.
-// New or vanished benchmarks are reported but never fail the gate (the
-// gate must not block adding or retiring benchmarks).
-func runCompare(oldPath, newPath string, threshold float64) int {
+// runCompare prints a per-benchmark delta table to w and returns 1 when
+// any shared benchmark regressed beyond the threshold on ns/op or
+// allocs/op. New or vanished benchmarks are reported but never fail the
+// gate (the gate must not block adding or retiring benchmarks).
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) int {
 	oldDoc, err := load(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -199,7 +201,7 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 		nw := newDoc.Benchmarks[name]
 		od, ok := oldDoc.Benchmarks[name]
 		if !ok {
-			fmt.Printf("NEW    %-50s %12.0f ns/op %10.0f allocs/op\n", name, nw.NsPerOp, nw.AllocsPerOp)
+			fmt.Fprintf(w, "NEW    %-50s %12.0f ns/op %10.0f allocs/op\n", name, nw.NsPerOp, nw.AllocsPerOp)
 			continue
 		}
 		nsBad, nsDelta := regressed(od.NsPerOp, nw.NsPerOp, threshold)
@@ -209,31 +211,52 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 			status = "REGRES"
 			failed = true
 		}
-		fmt.Printf("%s %-50s ns/op %12.0f -> %12.0f (%+6.1f%%)  allocs/op %10.0f -> %10.0f (%+6.1f%%)\n",
-			status, name, od.NsPerOp, nw.NsPerOp, nsDelta, od.AllocsPerOp, nw.AllocsPerOp, alDelta)
+		fmt.Fprintf(w, "%s %-50s ns/op %12.0f -> %12.0f (%s)  allocs/op %10.0f -> %10.0f (%s)\n",
+			status, name, od.NsPerOp, nw.NsPerOp, fmtDelta(nsDelta), od.AllocsPerOp, nw.AllocsPerOp, fmtDelta(alDelta))
 	}
+	gone := make([]string, 0)
 	for name := range oldDoc.Benchmarks {
 		if _, ok := newDoc.Benchmarks[name]; !ok {
-			fmt.Printf("GONE   %s\n", name)
+			gone = append(gone, name)
 		}
 	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(w, "GONE   %s\n", name)
+	}
 	if failed {
-		fmt.Printf("\nbenchmark regression beyond %.1f%% threshold\n", threshold)
+		fmt.Fprintf(w, "\nbenchmark regression beyond %.1f%% threshold\n", threshold)
 		return 1
 	}
-	fmt.Printf("\nno regressions beyond %.1f%% threshold\n", threshold)
+	fmt.Fprintf(w, "\nno regressions beyond %.1f%% threshold\n", threshold)
 	return 0
 }
 
+// fmtDelta renders a percent delta; NaN marks a delta that has no
+// percentage form (a zero or degenerate baseline).
+func fmtDelta(delta float64) string {
+	if math.IsNaN(delta) {
+		return "  n/a "
+	}
+	return fmt.Sprintf("%+6.1f%%", delta)
+}
+
 // regressed reports whether cur is worse than base by more than threshold
-// percent, and the percent delta. A zero baseline (the zero-allocation
-// steady state) regresses on any increase: there is no percentage of zero.
+// percent, and the percent delta (NaN when no percentage exists). A zero
+// baseline (the zero-allocation steady state) regresses on any increase:
+// there is no percentage of zero. Degenerate rows — absent metrics
+// (recorded as -1), zero-ns parses, or non-finite values from a corrupt
+// document — never produce NaN/Inf percentages and never fail the gate on
+// arithmetic artifacts alone.
 func regressed(base, cur float64, threshold float64) (bool, float64) {
 	if base < 0 || cur < 0 {
-		return false, 0 // metric absent on one side
+		return false, math.NaN() // metric absent on one side
+	}
+	if math.IsNaN(base) || math.IsInf(base, 0) || math.IsNaN(cur) || math.IsInf(cur, 0) {
+		return false, math.NaN() // corrupt document; never gate on it
 	}
 	if base == 0 {
-		return cur > 0, 0
+		return cur > 0, math.NaN()
 	}
 	delta := (cur - base) / base * 100
 	return delta > threshold, delta

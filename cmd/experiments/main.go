@@ -12,6 +12,9 @@
 // machine-readable exports. -timeline and -trace-out enable per-run
 // observability (internal/obs) and export the cycle-window time-series
 // and the Chrome-trace event stream of the simulated points.
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 124 when
+// -timeout expired, 130 when interrupted (Ctrl-C / SIGTERM).
 package main
 
 import (
@@ -22,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,12 +33,18 @@ import (
 	"time"
 
 	"srlproc/internal/bench"
+	"srlproc/internal/cli"
 	"srlproc/internal/core"
 	"srlproc/internal/obs"
 	"srlproc/internal/trace"
 )
 
-func main() {
+// main delegates to run so that deferred cleanup — most importantly the
+// signal.NotifyContext stop function — executes on every return path.
+// os.Exit and log.Fatal inside run would skip those defers.
+func main() { os.Exit(run()) }
+
+func run() int {
 	quick := flag.Bool("quick", false, "run at reduced scale for a fast sanity pass")
 	uops := flag.Uint64("uops", 0, "override measured micro-ops per point")
 	warm := flag.Uint64("warmup", 0, "override warmup micro-ops per point")
@@ -55,20 +63,29 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", obs.DefaultSampleEvery, "timeline sampling window in cycles (with -timeline)")
 	flag.Parse()
 
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		return cli.Usage
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+		return cli.Err
+	}
+
 	if *figure != 0 {
 		if *only != "" {
-			log.Fatal("use -only or -figure, not both")
+			return usage("use -only or -figure, not both")
 		}
 		*only = fmt.Sprintf("fig%d", *figure)
 	}
 	if *jsonOut && *csvOut {
-		log.Fatal("use -json or -csv, not both")
+		return usage("use -json or -csv, not both")
 	}
 	if *timelineOut == "-" && *traceOut == "-" {
-		log.Fatal("-timeline and -trace-out cannot both write to stdout")
+		return usage("-timeline and -trace-out cannot both write to stdout")
 	}
 	if (*timelineOut == "-" || *traceOut == "-") && (*jsonOut || *csvOut) {
-		log.Fatal("-timeline/-trace-out '-' conflicts with -json/-csv on stdout; write to a file instead")
+		return usage("-timeline/-trace-out '-' conflicts with -json/-csv on stdout; write to a file instead")
 	}
 	// When a streaming export owns stdout, the human-readable tables move
 	// to stderr so the exported document stays parseable.
@@ -108,7 +125,7 @@ func main() {
 		o.Obs.TraceEvents = true
 	}
 	if err := o.Validate(); err != nil {
-		log.Fatal(err)
+		return usage("%v", err)
 	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
@@ -122,103 +139,120 @@ func main() {
 	var jsonDocs []namedDoc
 	var observed []labeledResult
 
-	emitText := func(name, text string) {
+	emitText := func(name, text string) int {
 		switch {
 		case *jsonOut:
 			doc, err := json.Marshal(text)
 			if err != nil {
-				log.Fatalf("%s: %v", name, err)
+				return fail("%s: %v", name, err)
 			}
 			jsonDocs = append(jsonDocs, namedDoc{name, doc})
 		case *csvOut:
 			// Configuration echoes have no CSV form; skip them silently
 			// unless explicitly selected.
 			if *only == name {
-				log.Fatalf("%s has no CSV form", name)
+				return usage("%s has no CSV form", name)
 			}
 		default:
 			fmt.Fprintln(reportOut, text)
 		}
+		return cli.OK
 	}
 
 	if want("table1") {
-		emitText("table1", bench.RenderTable1())
+		if code := emitText("table1", bench.RenderTable1()); code != cli.OK {
+			return code
+		}
 	}
 	if want("table2") {
-		emitText("table2", bench.RenderTable2())
+		if code := emitText("table2", bench.RenderTable2()); code != cli.OK {
+			return code
+		}
 	}
-	run := func(name string, f func(context.Context, bench.Options) (fmt.Stringer, error)) {
+	runExp := func(name string, f func(context.Context, bench.Options) (fmt.Stringer, error)) int {
 		if !want(name) {
-			return
+			return cli.OK
 		}
 		r, err := f(ctx, o)
 		if *progress {
 			fmt.Fprintln(os.Stderr)
 		}
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				log.Printf("%s: interrupted: %v", name, ctx.Err())
-				os.Exit(130)
+			switch code := cli.ExitCode(err); code {
+			case cli.Interrupt:
+				fmt.Fprintf(os.Stderr, "experiments: %s: interrupted: %v\n", name, err)
+				return code
+			case cli.Timeout:
+				fmt.Fprintf(os.Stderr, "experiments: %s: timed out: %v\n", name, err)
+				return code
+			default:
+				return fail("%s: %v", name, err)
 			}
-			if errors.Is(err, context.DeadlineExceeded) {
-				log.Printf("%s: timed out: %v", name, err)
-				os.Exit(1)
-			}
-			log.Printf("%s: %v", name, err)
-			os.Exit(1)
 		}
 		observed = append(observed, rawResults(r)...)
 		switch {
 		case *jsonOut:
 			doc, err := json.Marshal(r)
 			if err != nil {
-				log.Fatalf("%s: %v", name, err)
+				return fail("%s: %v", name, err)
 			}
 			jsonDocs = append(jsonDocs, namedDoc{name, doc})
 		case *csvOut:
 			cw, ok := r.(interface{ WriteCSV(io.Writer) error })
 			if !ok {
-				log.Fatalf("%s has no CSV form", name)
+				return usage("%s has no CSV form", name)
 			}
 			if *only == "" {
 				fmt.Printf("# %s\n", name)
 			}
 			if err := cw.WriteCSV(os.Stdout); err != nil {
-				log.Fatalf("%s: %v", name, err)
+				return fail("%s: %v", name, err)
 			}
 		default:
 			fmt.Fprintln(reportOut, r.String())
 		}
+		return cli.OK
 	}
-	run("fig2", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunFigure2Context(ctx, o)
-	})
-	run("fig6", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunFigure6Context(ctx, o)
-	})
-	run("table3", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunTable3Context(ctx, o)
-	})
-	run("fig7", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunFigure7Context(ctx, o)
-	})
-	run("fig8", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunFigure8Context(ctx, o)
-	})
-	run("fig9", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunFigure9Context(ctx, o)
-	})
-	run("fig10", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunFigure10Context(ctx, o)
-	})
-	run("energy", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunEnergyContext(ctx, o)
-	})
-	run("latency", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-		return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
-	})
+	for _, e := range []struct {
+		name string
+		f    func(context.Context, bench.Options) (fmt.Stringer, error)
+	}{
+		{"fig2", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunFigure2Context(ctx, o)
+		}},
+		{"fig6", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunFigure6Context(ctx, o)
+		}},
+		{"table3", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunTable3Context(ctx, o)
+		}},
+		{"fig7", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunFigure7Context(ctx, o)
+		}},
+		{"fig8", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunFigure8Context(ctx, o)
+		}},
+		{"fig9", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunFigure9Context(ctx, o)
+		}},
+		{"fig10", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunFigure10Context(ctx, o)
+		}},
+		{"energy", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunEnergyContext(ctx, o)
+		}},
+		{"latency", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
+		}},
+	} {
+		if code := runExp(e.name, e.f); code != cli.OK {
+			return code
+		}
+	}
 	if want("power") {
-		emitText("power", bench.RunPowerArea())
+		if code := emitText("power", bench.RunPowerArea()); code != cli.OK {
+			return code
+		}
 	}
 
 	if *jsonOut {
@@ -233,24 +267,25 @@ func main() {
 			}
 			enc := json.NewEncoder(out)
 			if err := enc.Encode(obj); err != nil {
-				log.Fatal(err)
+				return fail("%v", err)
 			}
 		}
 		if err := out.Flush(); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 	}
 
 	if *timelineOut != "" {
 		if err := writeTimelines(*timelineOut, observed); err != nil {
-			log.Fatalf("-timeline: %v", err)
+			return fail("-timeline: %v", err)
 		}
 	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, *tracePoint, observed); err != nil {
-			log.Fatalf("-trace-out: %v", err)
+			return fail("-trace-out: %v", err)
 		}
 	}
+	return cli.OK
 }
 
 // labeledResult names one simulated point's results for export.

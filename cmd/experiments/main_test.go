@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"srlproc/internal/cli"
+)
+
+// Re-exec harness: the child invocation (marked by EXPERIMENTS_ARGV) runs
+// main's run() with the requested argv so tests observe real exit codes.
+func TestMain(m *testing.M) {
+	if argv, ok := os.LookupEnv("EXPERIMENTS_ARGV"); ok {
+		os.Args = []string{"experiments"}
+		if argv != "" {
+			os.Args = append(os.Args, strings.Split(argv, "\x1f")...)
+		}
+		os.Exit(run())
+	}
+	os.Exit(m.Run())
+}
+
+func cliCmd(t *testing.T, args ...string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_ARGV="+strings.Join(args, "\x1f"))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	return cmd, &stderr
+}
+
+func TestExitUsage(t *testing.T) {
+	cmd, stderr := cliCmd(t, "-only", "fig2", "-figure", "6")
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != cli.Usage {
+		t.Fatalf("exit %v, want %d; stderr:\n%s", err, cli.Usage, stderr)
+	}
+}
+
+func TestExitTimeout(t *testing.T) {
+	cmd, stderr := cliCmd(t, "-only", "fig2", "-uops", "500000000", "-warmup", "1000",
+		"-workers", "2", "-timeout", "200ms")
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != cli.Timeout {
+		t.Fatalf("exit %v, want %d; stderr:\n%s", err, cli.Timeout, stderr)
+	}
+	if !strings.Contains(stderr.String(), "timed out") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}
+
+func TestExitInterrupt(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("signal delivery is POSIX-only")
+	}
+	cmd, stderr := cliCmd(t, "-only", "fig2", "-uops", "500000000", "-warmup", "1000", "-workers", "2")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != cli.Interrupt {
+		t.Fatalf("exit %v, want %d; stderr:\n%s", err, cli.Interrupt, stderr)
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("stderr: %q", stderr)
+	}
+}

@@ -10,25 +10,32 @@
 //	srlsim -design large -stq 256 -suite WS -v
 //	srlsim -design srl -suite SFP2K -json
 //	srlsim -design srl -suite WEB -timeline ts.csv -trace-out trace.json
+//
+// Exit codes: 0 success, 1 runtime error, 2 usage error, 124 when
+// -timeout expired, 130 when interrupted (Ctrl-C / SIGTERM).
 package main
 
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"srlproc"
+	"srlproc/internal/cli"
 )
 
-func main() {
+// main delegates to run so that deferred cleanup — most importantly the
+// signal.NotifyContext stop function — executes on every return path.
+// os.Exit and log.Fatal inside run would skip those defers.
+func main() { os.Exit(run()) }
+
+func run() int {
 	design := flag.String("design", "srl", "store design: baseline, large, hier, srl, filtered")
 	suite := flag.String("suite", "SINT2K", "benchmark suite: SFP2K, SINT2K, WEB, MM, PROD, SERVER, WS")
 	stq := flag.Int("stq", 0, "store queue size for -design large (default 1024)")
@@ -47,14 +54,23 @@ func main() {
 	sampleEvery := flag.Uint64("sample-every", 0, "timeline sampling window in cycles (default 4096 with -timeline)")
 	flag.Parse()
 
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "srlsim: "+format+"\n", args...)
+		return cli.Usage
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "srlsim: "+format+"\n", args...)
+		return cli.Err
+	}
+
 	if *asJSON && *asCSV {
-		log.Fatal("use -json or -csv, not both")
+		return usage("use -json or -csv, not both")
 	}
 	if *timelineOut == "-" && *traceOut == "-" {
-		log.Fatal("-timeline and -trace-out cannot both write to stdout")
+		return usage("-timeline and -trace-out cannot both write to stdout")
 	}
 	if (*timelineOut == "-" || *traceOut == "-") && (*asJSON || *asCSV) {
-		log.Fatal("-timeline/-trace-out '-' conflicts with -json/-csv on stdout; write to a file instead")
+		return usage("-timeline/-trace-out '-' conflicts with -json/-csv on stdout; write to a file instead")
 	}
 	// When a streaming export owns stdout, the text report moves to stderr
 	// so the exported document stays parseable.
@@ -85,7 +101,7 @@ func main() {
 	case "filtered":
 		d = srlproc.DesignFilteredSTQ
 	default:
-		log.Fatalf("unknown design %q", *design)
+		return usage("unknown design %q", *design)
 	}
 
 	var su srlproc.Suite
@@ -98,7 +114,7 @@ func main() {
 		}
 	}
 	if !found {
-		log.Fatalf("unknown suite %q", *suite)
+		return usage("unknown suite %q", *suite)
 	}
 
 	cfg := srlproc.DefaultConfig(d)
@@ -133,25 +149,27 @@ func main() {
 
 	res, err := srlproc.RunContext(ctx, cfg, su)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			log.Printf("interrupted: %v", err)
-			os.Exit(130)
+		switch code := cli.ExitCode(err); code {
+		case cli.Interrupt:
+			fmt.Fprintf(os.Stderr, "srlsim: interrupted: %v\n", err)
+			return code
+		case cli.Timeout:
+			fmt.Fprintf(os.Stderr, "srlsim: timed out after %v: %v\n", *timeout, err)
+			return code
+		default:
+			return fail("%v", err)
 		}
-		if errors.Is(err, context.DeadlineExceeded) {
-			log.Fatalf("timed out after %v: %v", *timeout, err)
-		}
-		log.Fatal(err)
 	}
 	if *timelineOut != "" {
 		if err := writeTo(*timelineOut, res.Timeline.WriteCSV); err != nil {
-			log.Fatalf("-timeline: %v", err)
+			return fail("-timeline: %v", err)
 		}
 	}
 	if *traceOut != "" {
 		if err := writeTo(*traceOut, func(w io.Writer) error {
 			return res.Trace.WriteChromeTrace(w, res.Timeline)
 		}); err != nil {
-			log.Fatalf("-trace-out: %v", err)
+			return fail("-trace-out: %v", err)
 		}
 	}
 	switch {
@@ -162,11 +180,11 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 	case *asCSV:
 		if err := res.WriteCSV(os.Stdout); err != nil {
-			log.Fatal(err)
+			return fail("%v", err)
 		}
 	default:
 		fmt.Fprint(reportOut, res)
@@ -180,6 +198,7 @@ func main() {
 			}
 		}
 	}
+	return cli.OK
 }
 
 // writeTo opens path ("-" = stdout) and hands it to write.

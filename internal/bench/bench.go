@@ -59,6 +59,12 @@ type Options struct {
 	// every point to simulate fresh.
 	NoCache bool
 
+	// Cache overrides the memo cache the sweep engine uses; nil means the
+	// process-wide sweep.Global() cache. Long-lived callers (the srlserved
+	// HTTP server) supply their own bounded cache here. Ignored when
+	// NoCache is set.
+	Cache *sweep.Cache
+
 	// Obs configures per-run observability (cycle-window timeline sampling
 	// and event tracing) on every simulated point; the zero value disables
 	// both. See obs.Config. Observed points fingerprint differently from
@@ -106,7 +112,7 @@ func (o *Options) Validate() error {
 
 func (o Options) sweepOptions() sweep.Options {
 	o.Validate() // normalise the Parallel switch on our local copy
-	return sweep.Options{Workers: o.Workers, Progress: o.Progress, NoCache: o.NoCache}
+	return sweep.Options{Workers: o.Workers, Progress: o.Progress, NoCache: o.NoCache, Cache: o.Cache}
 }
 
 // runMatrix runs one configuration per label across all suites on the

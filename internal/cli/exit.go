@@ -1,0 +1,40 @@
+// Package cli holds the conventions shared by srlproc's command-line
+// binaries: process exit codes and their mapping from run errors.
+//
+// The binaries follow the `main() { os.Exit(run()) }` shape so that every
+// return path unwinds normally — signal.NotifyContext stop functions and
+// other defers run before the process exits. log.Fatal and bare os.Exit
+// calls inside the run skip defers and are therefore avoided.
+package cli
+
+import (
+	"context"
+	"errors"
+)
+
+// Exit codes. Timeout follows coreutils timeout(1); Interrupt is the
+// shell convention 128+SIGINT.
+const (
+	OK        = 0
+	Err       = 1
+	Usage     = 2
+	Timeout   = 124
+	Interrupt = 130
+)
+
+// ExitCode maps a run error to the process exit code: nil is success, a
+// cancelled context is an interrupt (the only caller of cancel is the
+// signal handler), an exceeded deadline is a timeout, anything else is a
+// generic error.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, context.Canceled):
+		return Interrupt
+	case errors.Is(err, context.DeadlineExceeded):
+		return Timeout
+	default:
+		return Err
+	}
+}

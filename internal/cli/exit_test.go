@@ -1,0 +1,36 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestExitCode(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"success", nil, OK},
+		{"interrupt", context.Canceled, Interrupt},
+		{"wrapped interrupt", fmt.Errorf("fig2: %w", context.Canceled), Interrupt},
+		{"timeout", context.DeadlineExceeded, Timeout},
+		{"wrapped timeout", fmt.Errorf("point: %w", context.DeadlineExceeded), Timeout},
+		{"generic", errors.New("boom"), Err},
+	} {
+		if got := ExitCode(tc.err); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// The codes are distinct: a caller (CI, scripts) can tell an
+	// interrupted run from a timed-out one from a failed one.
+	seen := map[int]bool{}
+	for _, c := range []int{OK, Err, Usage, Timeout, Interrupt} {
+		if seen[c] {
+			t.Fatalf("duplicate exit code %d", c)
+		}
+		seen[c] = true
+	}
+}

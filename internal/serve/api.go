@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"srlproc/internal/bench"
+	"srlproc/internal/core"
+	"srlproc/internal/sweep"
+	"srlproc/internal/trace"
+)
+
+// SimulateRequest is the POST /v1/simulate body: one design point. The
+// zero values fall back to the Table 1 defaults of the chosen design.
+type SimulateRequest struct {
+	Design string `json:"design"` // baseline|large|hier|srl|filtered or canonical names
+	Suite  string `json:"suite"`  // SFP2K|SINT2K|WEB|MM|PROD|SERVER|WS
+
+	RunUops    uint64 `json:"run_uops,omitempty"`
+	WarmupUops uint64 `json:"warmup_uops,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+	STQSize    int    `json:"stq_size,omitempty"` // large/filtered designs
+
+	NoLCF        bool `json:"no_lcf,omitempty"`
+	NoIndexedFwd bool `json:"no_indexed_fwd,omitempty"`
+	NoFC         bool `json:"no_fc,omitempty"`
+
+	// TimeoutMs bounds this job (capped by the server's MaxTimeout);
+	// zero means the server default.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// NoCache forces a fresh simulation, bypassing the memo cache.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// ParseDesign resolves the CLI short names and the canonical
+// StoreDesign.String names.
+func ParseDesign(name string) (core.StoreDesign, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return core.DesignBaseline, nil
+	case "large", "ideal":
+		return core.DesignLargeSTQ, nil
+	case "hier", "hierarchical":
+		return core.DesignHierarchical, nil
+	case "srl":
+		return core.DesignSRL, nil
+	case "filtered":
+		return core.DesignFilteredSTQ, nil
+	}
+	var d core.StoreDesign
+	if err := d.UnmarshalText([]byte(name)); err == nil {
+		return d, nil
+	}
+	return 0, fmt.Errorf("unknown store design %q", name)
+}
+
+// ParseSuite resolves a suite name case-insensitively.
+func ParseSuite(name string) (trace.Suite, error) {
+	for _, s := range trace.AllSuites() {
+		if strings.EqualFold(s.String(), name) {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown suite %q", name)
+}
+
+// config builds the core.Config for the request, mirroring cmd/srlsim's
+// flag handling so a curl of the service and a CLI run of the same point
+// produce byte-identical Results JSON.
+func (req *SimulateRequest) config() (core.Config, trace.Suite, error) {
+	d, err := ParseDesign(req.Design)
+	if err != nil {
+		return core.Config{}, 0, err
+	}
+	su, err := ParseSuite(req.Suite)
+	if err != nil {
+		return core.Config{}, 0, err
+	}
+	cfg := core.DefaultConfig(d)
+	if req.RunUops > 0 {
+		cfg.RunUops = req.RunUops
+	}
+	if req.WarmupUops > 0 {
+		cfg.WarmupUops = req.WarmupUops
+	}
+	if req.Seed > 0 {
+		cfg.Seed = req.Seed
+	}
+	if d == core.DesignLargeSTQ || d == core.DesignFilteredSTQ {
+		cfg.STQSize = 1024
+		if req.STQSize > 0 {
+			cfg.STQSize = req.STQSize
+		}
+	}
+	if req.NoLCF {
+		cfg.UseLCF = false
+		cfg.UseIndexedFwd = false
+	}
+	if req.NoIndexedFwd {
+		cfg.UseIndexedFwd = false
+	}
+	if req.NoFC {
+		cfg.UseFC = false
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, 0, err
+	}
+	return cfg, su, nil
+}
+
+// decodeBody parses a bounded JSON request body into dst, rejecting
+// unknown fields so client typos surface as 400s rather than silently
+// running the wrong experiment.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.bump(func(c *counters) { c.BadRequests++ })
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// handleSimulate runs one design point and answers with the exact
+// core.Results JSON document. Identical retried requests collapse onto
+// the memo cache: the X-Srlproc-Cache header reports hit or miss, and
+// X-Srlproc-Point carries the core.PointFingerprint idempotency key.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.bump(func(c *counters) { c.Requests++ })
+	var req SimulateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	cfg, su, err := req.config()
+	if err != nil {
+		s.bump(func(c *counters) { c.BadRequests++ })
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, stop := s.jobContext(r, req.TimeoutMs)
+	defer stop()
+	runRelease, err := s.acquireRun(ctx)
+	if err != nil {
+		s.finishJob(w, err)
+		return
+	}
+
+	start := time.Now()
+	rep, err := sweep.Run(ctx, []sweep.Point{{Label: "simulate", Cfg: cfg, Suite: su}},
+		sweep.Options{Workers: 1, Cache: s.cache, NoCache: req.NoCache})
+	runRelease()
+	s.observeJob(time.Since(start))
+	if !s.finishJob(w, err) {
+		return
+	}
+
+	pr := &rep.Points[0]
+	s.mergeMetrics(&pr.Results.Metrics)
+	doc, err := json.Marshal(pr.Results)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-Srlproc-Point", fmt.Sprintf("%016x", core.PointFingerprint(cfg, su)))
+	if pr.CacheHit {
+		w.Header().Set("X-Srlproc-Cache", "hit")
+	} else {
+		w.Header().Set("X-Srlproc-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// SweepRequest is the POST /v1/sweep body: one named experiment of the
+// paper's evaluation (a Figure 2/6-style batch, Table 3, ...).
+type SweepRequest struct {
+	// Experiment names the batch: fig2, fig6, fig7, fig8, fig9, fig10,
+	// table3, energy, latency.
+	Experiment string `json:"experiment"`
+
+	// Quick runs at reduced scale (bench.QuickOptions).
+	Quick bool `json:"quick,omitempty"`
+
+	RunUops    uint64 `json:"run_uops,omitempty"`
+	WarmupUops uint64 `json:"warmup_uops,omitempty"`
+	Seed       uint64 `json:"seed,omitempty"`
+
+	// Workers overrides the per-job sweep pool size.
+	Workers int `json:"workers,omitempty"`
+
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	NoCache   bool  `json:"no_cache,omitempty"`
+
+	// Stream switches the response to Server-Sent Events: one "progress"
+	// event per completed point, then a final "result" (or "error")
+	// event. Also triggered by "Accept: text/event-stream".
+	Stream bool `json:"stream,omitempty"`
+}
+
+// experimentRunner adapts one bench runner to a uniform signature.
+type experimentRunner func(ctx context.Context, o bench.Options) (any, error)
+
+// experiments is the named-batch registry served by /v1/sweep.
+var experiments = map[string]experimentRunner{
+	"fig2": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunFigure2Context(ctx, o)
+	},
+	"fig6": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunFigure6Context(ctx, o)
+	},
+	"fig7": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunFigure7Context(ctx, o)
+	},
+	"fig8": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunFigure8Context(ctx, o)
+	},
+	"fig9": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunFigure9Context(ctx, o)
+	},
+	"fig10": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunFigure10Context(ctx, o)
+	},
+	"table3": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunTable3Context(ctx, o)
+	},
+	"energy": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunEnergyContext(ctx, o)
+	},
+	"latency": func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
+	},
+}
+
+// Experiments lists the batch names /v1/sweep accepts.
+func Experiments() []string {
+	out := make([]string, 0, len(experiments))
+	for name := range experiments {
+		out = append(out, name)
+	}
+	return out
+}
+
+// options builds the bench.Options for the request against the server's
+// cache and worker-pool configuration.
+func (req *SweepRequest) options(s *Server) bench.Options {
+	o := bench.DefaultOptions()
+	if req.Quick {
+		o = bench.QuickOptions()
+	}
+	if req.RunUops > 0 {
+		o.RunUops = req.RunUops
+	}
+	if req.WarmupUops > 0 {
+		o.WarmupUops = req.WarmupUops
+	}
+	if req.Seed > 0 {
+		o.Seed = req.Seed
+	}
+	o.Workers = s.cfg.Workers
+	if req.Workers != 0 {
+		o.Workers = req.Workers
+	}
+	o.NoCache = req.NoCache
+	o.Cache = s.cache
+	return o
+}
+
+// handleSweep executes one named experiment batch and answers with its
+// JSON document — the same document `experiments -json -only <name>`
+// writes — or streams progress over SSE when requested.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.bump(func(c *counters) { c.Requests++ })
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	runner, ok := experiments[req.Experiment]
+	if !ok {
+		s.bump(func(c *counters) { c.BadRequests++ })
+		s.writeError(w, http.StatusBadRequest,
+			"unknown experiment %q (have: fig2 fig6 fig7 fig8 fig9 fig10 table3 energy latency)", req.Experiment)
+		return
+	}
+	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, stop := s.jobContext(r, req.TimeoutMs)
+	defer stop()
+	runRelease, err := s.acquireRun(ctx)
+	if err != nil {
+		s.finishJob(w, err)
+		return
+	}
+
+	opts := req.options(s)
+	if stream {
+		defer runRelease()
+		s.streamSweep(w, ctx, runner, opts)
+		return
+	}
+
+	start := time.Now()
+	result, err := runner(ctx, opts)
+	runRelease()
+	s.observeJob(time.Since(start))
+	if !s.finishJob(w, err) {
+		return
+	}
+	doc, err := json.Marshal(result)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// sseProgress is the wire form of one progress event.
+type sseProgress struct {
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	CacheHits int    `json:"cache_hits"`
+	Failed    int    `json:"failed"`
+	ElapsedMs int64  `json:"elapsed_ms"`
+	EtaMs     int64  `json:"eta_ms"`
+	Last      string `json:"last"`
+}
+
+// streamSweep runs the experiment while emitting SSE events: "progress"
+// per completed point (strictly increasing done counts — late-arriving
+// concurrent snapshots are dropped rather than reordered), then exactly
+// one terminal "result" or "error" event.
+func (s *Server) streamSweep(w http.ResponseWriter, ctx context.Context, runner experimentRunner, opts bench.Options) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.finishJob(w, errors.New("streaming unsupported by this connection"))
+		return
+	}
+	s.bump(func(c *counters) { c.SSEStreams++ })
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// Workers publish snapshots concurrently; a buffered channel keeps
+	// them off the simulation's critical path, dropping under backlog
+	// (the monotonic filter below would discard stale ones anyway).
+	progress := make(chan sweep.Progress, 128)
+	opts.Progress = func(p sweep.Progress) {
+		select {
+		case progress <- p:
+		default:
+		}
+	}
+
+	type outcome struct {
+		result any
+		err    error
+	}
+	resc := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		result, err := runner(ctx, opts)
+		resc <- outcome{result, err}
+	}()
+
+	writeEvent := func(event string, doc []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, doc)
+		fl.Flush()
+	}
+	lastDone := 0
+	emitProgress := func(p sweep.Progress) {
+		if p.Done <= lastDone {
+			return
+		}
+		lastDone = p.Done
+		doc, _ := json.Marshal(sseProgress{
+			Done:      p.Done,
+			Total:     p.Total,
+			CacheHits: p.CacheHits,
+			Failed:    p.Failed,
+			ElapsedMs: p.Elapsed.Milliseconds(),
+			EtaMs:     p.ETA.Milliseconds(),
+			Last:      p.Last.String(),
+		})
+		writeEvent("progress", doc)
+	}
+	for {
+		select {
+		case p := <-progress:
+			emitProgress(p)
+		case out := <-resc:
+			s.observeJob(time.Since(start))
+			// Flush progress the workers raced in ahead of the result.
+			for {
+				select {
+				case p := <-progress:
+					emitProgress(p)
+					continue
+				default:
+				}
+				break
+			}
+			if out.err != nil {
+				s.bump(func(c *counters) {
+					c.Failed++
+					if errors.Is(out.err, context.DeadlineExceeded) {
+						c.Timeouts++
+					}
+				})
+				doc, _ := json.Marshal(map[string]string{"error": out.err.Error()})
+				writeEvent("error", doc)
+				return
+			}
+			doc, err := json.Marshal(out.result)
+			if err != nil {
+				doc, _ = json.Marshal(map[string]string{"error": err.Error()})
+				writeEvent("error", doc)
+				return
+			}
+			s.bump(func(c *counters) { c.Completed++ })
+			writeEvent("result", doc)
+			return
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package serve_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"srlproc/internal/serve"
+)
+
+// TestGracefulDrainOnSIGTERM runs the production serve loop, delivers a
+// real SIGTERM mid-job, and asserts the drain contract: the in-flight job
+// completes with a full response, the listener refuses new work, and
+// Serve returns cleanly (nil) well inside the hard deadline.
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGTERM delivery is POSIX-only")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{DrainTimeout: 60 * time.Second})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 90 * time.Second}
+
+	// An in-flight job sized to outlive the SIGTERM by a comfortable
+	// margin but finish well inside the drain deadline.
+	jobDone := make(chan *http.Response, 1)
+	jobBody := make(chan []byte, 1)
+	go func() {
+		resp, err := client.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"design":"srl","suite":"WS","run_uops":300000,"warmup_uops":20000}`))
+		if err != nil {
+			t.Errorf("in-flight job: %v", err)
+			jobDone <- nil
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		jobBody <- b
+		jobDone <- resp
+	}()
+	waitInflight(t, client, base, 1)
+
+	// Mid-sweep SIGTERM: the process catches it via NotifyContext, which
+	// cancels the serve context exactly as in cmd/srlserved.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight job must complete normally despite the drain.
+	select {
+	case resp := <-jobDone:
+		if resp == nil {
+			t.Fatal("in-flight job failed")
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("in-flight job status %d during drain", resp.StatusCode)
+		}
+		var doc struct {
+			Uops uint64 `json:"uops"`
+		}
+		if err := json.Unmarshal(<-jobBody, &doc); err != nil || doc.Uops == 0 {
+			t.Fatalf("in-flight job answered a truncated document: %v", err)
+		}
+	case <-time.After(80 * time.Second):
+		t.Fatal("in-flight job did not complete during drain")
+	}
+
+	// Serve returns nil: a clean drain, not a hard-deadline abort.
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve after drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	// The listener refuses new work once drained.
+	if _, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("listener still accepting connections after drain")
+	}
+	if !srv.Draining() {
+		t.Fatal("server does not report draining")
+	}
+}
+
+// TestDrainRefusesNewRequestsImmediately pins the draining 503: a request
+// arriving on an already-open connection after drain starts is refused
+// with 503 rather than queued.
+func TestDrainRefusesNewRequestsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{DrainTimeout: 60 * time.Second})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	// Keep-alive transport so the post-drain request reuses the
+	// established connection instead of dialing the closed listener.
+	tr := &http.Transport{MaxIdleConnsPerHost: 4}
+	client := &http.Client{Transport: tr, Timeout: 90 * time.Second}
+	defer tr.CloseIdleConnections()
+
+	// Park one slow job so the drain has something to wait on.
+	jobDone := make(chan struct{})
+	go func() {
+		defer close(jobDone)
+		resp, err := client.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"design":"baseline","suite":"MM","run_uops":300000,"warmup_uops":20000}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitInflight(t, client, base, 1)
+
+	cancel() // drain begins
+	// Wait until the server flags itself draining.
+	deadline := time.Now().Add(10 * time.Second)
+	for !srv.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := client.Post(base+"/v1/simulate", "application/json",
+		strings.NewReader(`{"design":"baseline","suite":"WEB","run_uops":1000}`))
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request during drain got %d, want 503", resp.StatusCode)
+		}
+	}
+	// err != nil is also acceptable: the connection may already be torn
+	// down, which equally refuses the work.
+
+	<-jobDone
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestDrainHardDeadline pins the other side of the contract: a job that
+// cannot finish inside DrainTimeout is cancelled and Serve reports the
+// hard-deadline abort instead of hanging forever.
+func TestDrainHardDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{DrainTimeout: 300 * time.Millisecond})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 90 * time.Second}
+	go func() {
+		resp, err := client.Post(base+"/v1/simulate", "application/json",
+			strings.NewReader(`{"design":"srl","suite":"SFP2K","run_uops":500000000,"timeout_ms":60000}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitInflight(t, client, base, 1)
+
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-serveDone:
+		if err == nil {
+			t.Fatal("hard-deadline drain reported a clean exit")
+		}
+		if !strings.Contains(err.Error(), "hard deadline") {
+			t.Fatalf("drain error: %v", err)
+		}
+		// The oversized job was cancelled, not awaited: Serve returned in
+		// drain-deadline time, far under the job's own 60s budget.
+		if d := time.Since(start); d > 30*time.Second {
+			t.Fatalf("hard-deadline drain took %v", d)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("Serve hung past the drain hard deadline")
+	}
+}

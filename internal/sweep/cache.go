@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -19,24 +20,64 @@ import (
 // sweep never simulates a point twice no matter how its worker pool
 // schedules duplicates. Failed or cancelled computations are not cached.
 //
+// The cache is bounded: it holds at most its entry budget of memoized
+// points and at most its byte budget of estimated result footprint,
+// evicting the least-recently-used ready entry when either is exceeded.
+// A long-lived process (the srlserved HTTP server) can therefore keep the
+// process-global cache hot indefinitely without it growing into a memory
+// leak. In-flight computations are never evicted — single-flight collapse
+// always holds — and eviction never invalidates a pointer a caller already
+// received.
+//
 // Cached results are shared pointers and must be treated as read-only by
 // all consumers, which every aggregation path in this repository does.
 type Cache struct {
-	mu     sync.Mutex
-	m      map[uint64]*cacheEntry
-	hits   uint64
-	misses uint64
+	mu         sync.Mutex
+	m          map[uint64]*cacheEntry
+	lru        *list.List // ready entries, most recently used at front
+	bytes      int64
+	maxEntries int
+	maxBytes   int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
 }
 
 type cacheEntry struct {
+	key   uint64
 	ready chan struct{} // closed when res/err are final
 	res   *core.Results
 	err   error
+
+	// LRU bookkeeping, guarded by Cache.mu. elem is nil while the
+	// computation is in flight and after eviction.
+	elem  *list.Element
+	bytes int64
 }
 
-// NewCache returns an empty cache.
+// Default budgets for NewCache and the process-global cache. The byte
+// budget is an estimate of retained result footprint (see Stats), sized so
+// a steadily churning server stays comfortably inside a small container.
+const (
+	DefaultCacheEntries = 4096
+	DefaultCacheBytes   = 256 << 20 // 256 MiB of estimated result footprint
+)
+
+// NewCache returns an empty cache with the default entry and byte budgets.
 func NewCache() *Cache {
-	return &Cache{m: make(map[uint64]*cacheEntry)}
+	return NewCacheWithBudget(DefaultCacheEntries, DefaultCacheBytes)
+}
+
+// NewCacheWithBudget returns an empty cache bounded to at most maxEntries
+// memoized points and maxBytes of estimated result footprint. A zero or
+// negative budget disables that bound.
+func NewCacheWithBudget(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		m:          make(map[uint64]*cacheEntry),
+		lru:        list.New(),
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
 }
 
 // globalCache memoizes across every sweep in the process, so the repeated
@@ -46,6 +87,44 @@ var globalCache = NewCache()
 
 // Global returns the process-wide cache that sweeps use by default.
 func Global() *Cache { return globalCache }
+
+// Stats is a point-in-time snapshot of a cache's counters and budget.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Entries counts memoized points including in-flight computations;
+	// Bytes is the estimated retained footprint of the ready ones.
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+	MaxEntries int   `json:"max_entries,omitempty"`
+	MaxBytes   int64 `json:"max_bytes,omitempty"`
+}
+
+// Stats returns a consistent snapshot of the cache's counters and budget.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Entries:    len(c.m),
+		Bytes:      c.bytes,
+		MaxEntries: c.maxEntries,
+		MaxBytes:   c.maxBytes,
+	}
+}
+
+// SetBudget adjusts the entry and byte budgets (zero or negative disables
+// that bound) and evicts immediately if the cache is now over budget.
+func (c *Cache) SetBudget(maxEntries int, maxBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxEntries = maxEntries
+	c.maxBytes = maxBytes
+	c.evictLocked()
+}
 
 // Hits returns how many lookups were served from the cache.
 func (c *Cache) Hits() uint64 {
@@ -61,26 +140,51 @@ func (c *Cache) Misses() uint64 {
 	return c.misses
 }
 
-// Len returns the number of memoized points.
+// Evictions returns how many ready entries the budget has evicted.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len returns the number of memoized points (including in-flight ones).
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
 }
 
-// Reset drops every memoized result and zeroes the hit/miss counters.
-// In-flight computations complete but are not re-cached under old entries.
+// Bytes returns the estimated retained footprint of the ready entries.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Reset drops every memoized result and zeroes every counter. It is safe
+// against concurrent in-flight computations: they complete, publish to
+// their waiters, and — because their entry is no longer the one in the map
+// — skip re-inserting themselves into the reset cache.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[uint64]*cacheEntry)
-	c.hits, c.misses = 0, 0
+	c.lru = list.New()
+	c.bytes = 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // do returns the memoized result for the point, computing it with fn on a
 // miss. hit reports whether the result came from the cache (including
 // waiting on another goroutine's in-flight computation). A ctx cancelled
-// while waiting returns ctx's error without disturbing the computation.
+// while waiting returns ctx's error without disturbing the computation and
+// without counting a hit or a miss.
+//
+// Accounting invariant (pinned by TestCachePoisonedRetryAccounting): every
+// do call that returns a result counts exactly one hit or one miss, even
+// on the failed-attempt retry path — a waiter that wakes on a failed
+// attempt loops, and either becomes the fresh computer (one miss) or waits
+// on a newer attempt (one hit on its success).
 func (c *Cache) do(ctx context.Context, cfg core.Config, suite trace.Suite,
 	fn func() (*core.Results, error)) (res *core.Results, hit bool, err error) {
 	key := core.PointFingerprint(cfg, suite)
@@ -93,6 +197,7 @@ func (c *Cache) do(ctx context.Context, cfg core.Config, suite trace.Suite,
 				if e.err == nil {
 					c.mu.Lock()
 					c.hits++
+					c.touchLocked(e)
 					c.mu.Unlock()
 					return e.res, true, nil
 				}
@@ -104,7 +209,7 @@ func (c *Cache) do(ctx context.Context, cfg core.Config, suite trace.Suite,
 				return nil, false, ctx.Err()
 			}
 		}
-		e := &cacheEntry{ready: make(chan struct{})}
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
 		c.m[key] = e
 		c.misses++
 		c.mu.Unlock()
@@ -125,11 +230,21 @@ func (c *Cache) compute(key uint64, e *cacheEntry,
 		} else {
 			e.res, e.err = res, err
 		}
-		if e.err != nil {
-			c.mu.Lock()
-			delete(c.m, key)
-			c.mu.Unlock()
+		c.mu.Lock()
+		// Identity check: a concurrent Reset (or a future eviction scheme)
+		// may have replaced the map out from under this computation; only
+		// the entry still registered for its key may touch the accounting.
+		if c.m[key] == e {
+			if e.err != nil {
+				delete(c.m, key)
+			} else {
+				e.bytes = resultsFootprint(e.res)
+				e.elem = c.lru.PushFront(e)
+				c.bytes += e.bytes
+				c.evictLocked()
+			}
 		}
+		c.mu.Unlock()
 		close(e.ready)
 		if p != nil {
 			panic(p)
@@ -137,4 +252,62 @@ func (c *Cache) compute(key uint64, e *cacheEntry,
 	}()
 	res, err = fn()
 	return res, err
+}
+
+// touchLocked marks e most recently used, if it is still cached.
+func (c *Cache) touchLocked(e *cacheEntry) {
+	if c.m[e.key] == e && e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictLocked drops least-recently-used ready entries until the cache is
+// inside both budgets. In-flight entries are not in the LRU list and are
+// never evicted, so single-flight collapse is preserved; if only in-flight
+// entries remain the cache may transiently exceed the entry budget.
+func (c *Cache) evictLocked() {
+	for c.overBudgetLocked() {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*cacheEntry)
+		delete(c.m, e.key)
+		c.lru.Remove(el)
+		e.elem = nil
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+func (c *Cache) overBudgetLocked() bool {
+	if c.maxEntries > 0 && len(c.m) > c.maxEntries {
+		return true
+	}
+	if c.maxBytes > 0 && c.bytes > c.maxBytes {
+		return true
+	}
+	return false
+}
+
+// resultsFootprint estimates the retained heap footprint of one cached
+// result for the byte budget. It is deliberately an estimate — a fixed
+// base for the flat counter struct plus the variable-length observability
+// buffers — because the budget exists to bound growth, not to meter it.
+func resultsFootprint(r *core.Results) int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(4096) // flat Results struct, occupancy tracker, slack
+	if r.Timeline != nil {
+		n += int64(r.Timeline.Len()) * 192
+	}
+	if r.Trace != nil {
+		n += int64(r.Trace.Len()) * 24
+	}
+	n += int64(len(r.Divergences)) * 512
+	if r.Counters != nil {
+		n += 1024
+	}
+	return n
 }

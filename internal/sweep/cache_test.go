@@ -1,0 +1,347 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"srlproc/internal/core"
+	"srlproc/internal/trace"
+)
+
+// churnCfg returns distinct fingerprints cheaply (no real simulation runs
+// behind these: the tests below use fake compute functions).
+func churnCfg(seed uint64) core.Config {
+	cfg := core.DefaultConfig(core.DesignSRL)
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestCacheChurnStaysWithinBudget is the regression test for the
+// unbounded-memoization leak: a capped cache fed far more distinct points
+// than its budget must stay inside both the entry and byte budgets, with
+// the overflow accounted as evictions.
+func TestCacheChurnStaysWithinBudget(t *testing.T) {
+	const budget = 8
+	c := NewCacheWithBudget(budget, 0)
+	const churn = 100
+	for i := 0; i < churn; i++ {
+		cfg := churnCfg(uint64(1000 + i))
+		res, hit, err := c.do(context.Background(), cfg, trace.WEB, func() (*core.Results, error) {
+			return fakeResults(cfg, trace.WEB), nil
+		})
+		if err != nil || hit || res == nil {
+			t.Fatalf("point %d: res=%v hit=%v err=%v", i, res, hit, err)
+		}
+		if n := c.Len(); n > budget {
+			t.Fatalf("point %d: cache holds %d entries, budget %d", i, n, budget)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != budget {
+		t.Fatalf("entries=%d, want budget %d", st.Entries, budget)
+	}
+	if st.Evictions != churn-budget {
+		t.Fatalf("evictions=%d, want %d", st.Evictions, churn-budget)
+	}
+	if st.Misses != churn || st.Hits != 0 {
+		t.Fatalf("hits=%d misses=%d", st.Hits, st.Misses)
+	}
+}
+
+// TestCacheByteBudget pins the byte bound: results carrying large
+// observability buffers must evict older entries once the estimated
+// footprint passes the budget.
+func TestCacheByteBudget(t *testing.T) {
+	// Each fake result has a fixed base footprint (~4 KiB); budget three.
+	c := NewCacheWithBudget(0, 3*4096)
+	for i := 0; i < 20; i++ {
+		cfg := churnCfg(uint64(2000 + i))
+		_, _, err := c.do(context.Background(), cfg, trace.MM, func() (*core.Results, error) {
+			return fakeResults(cfg, trace.MM), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := c.Bytes(); b > 3*4096 {
+			t.Fatalf("point %d: cache bytes %d over budget", i, b)
+		}
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("byte budget never evicted")
+	}
+}
+
+// TestCacheLRUOrder verifies a touched (hit) entry survives eviction in
+// favour of a colder one.
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCacheWithBudget(2, 0)
+	run := func(seed uint64) (*core.Results, bool) {
+		cfg := churnCfg(seed)
+		res, hit, err := c.do(context.Background(), cfg, trace.WS, func() (*core.Results, error) {
+			return fakeResults(cfg, trace.WS), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, hit
+	}
+	run(1) // cache: [1]
+	run(2) // cache: [2 1]
+	if _, hit := run(1); !hit {
+		t.Fatal("expected hit on 1") // cache: [1 2]
+	}
+	run(3) // evicts 2, the LRU: cache [3 1]
+	if _, hit := run(1); !hit {
+		t.Fatal("touched entry 1 was evicted before colder entry 2")
+	}
+	if _, hit := run(2); hit {
+		t.Fatal("cold entry 2 survived eviction")
+	}
+}
+
+// TestCachePoisonedRetryAccounting pins hit/miss accounting on the
+// failed-attempt retry path: a poisoned point whose waiter retries must
+// neither double-count nor deadlock. Goroutine A fails (one miss), waiter
+// B loops and computes fresh (one miss), waiter C of B's attempt counts
+// one hit — hits+misses equals completed do calls exactly.
+func TestCachePoisonedRetryAccounting(t *testing.T) {
+	c := NewCache()
+	cfg := churnCfg(3000)
+
+	firstEntered := make(chan struct{})
+	releaseFirst := make(chan struct{})
+	poisonErr := errors.New("poisoned attempt")
+
+	var wg sync.WaitGroup
+	// A: enters first, fails after release.
+	wg.Add(1)
+	var aHit bool
+	var aErr error
+	go func() {
+		defer wg.Done()
+		_, aHit, aErr = c.do(context.Background(), cfg, trace.PROD, func() (*core.Results, error) {
+			close(firstEntered)
+			<-releaseFirst
+			return nil, poisonErr
+		})
+	}()
+	<-firstEntered
+
+	// B and C: wait on A's in-flight attempt. After A fails, exactly one
+	// of them becomes the fresh computer and the other waits on it.
+	results := make(chan struct {
+		hit bool
+		err error
+	}, 2)
+	var computes int32
+	var computeMu sync.Mutex
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, hit, err := c.do(context.Background(), cfg, trace.PROD, func() (*core.Results, error) {
+				computeMu.Lock()
+				computes++
+				computeMu.Unlock()
+				time.Sleep(2 * time.Millisecond) // widen the single-flight window
+				return fakeResults(cfg, trace.PROD), nil
+			})
+			results <- struct {
+				hit bool
+				err error
+			}{hit, err}
+		}()
+	}
+	// Give B and C time to park on A's entry, then poison it.
+	time.Sleep(5 * time.Millisecond)
+	close(releaseFirst)
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("poisoned-then-retried point deadlocked")
+	}
+
+	if aErr == nil || aHit {
+		t.Fatalf("first attempt: hit=%v err=%v", aHit, aErr)
+	}
+	var hits, freshes int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("retried caller failed: %v", r.err)
+		}
+		if r.hit {
+			hits++
+		} else {
+			freshes++
+		}
+	}
+	// The scheduler decides whether C parks on B's attempt (1 fresh + 1
+	// hit) or both retry serially against a ready entry (also 1 fresh + 1
+	// hit) — but a double fresh compute would mean single-flight broke.
+	if computes != 1 || freshes != 1 || hits != 1 {
+		t.Fatalf("computes=%d freshes=%d hits=%d, want 1/1/1", computes, freshes, hits)
+	}
+	// Exactly one hit, and exactly two misses (A's failure + the retry).
+	if c.Hits() != 1 || c.Misses() != 2 {
+		t.Fatalf("cache accounting hits=%d misses=%d, want 1/2", c.Hits(), c.Misses())
+	}
+}
+
+// TestCacheWaiterCancellation pins ctx behaviour on the waiting path: a
+// waiter cancelled while an attempt is in flight returns ctx.Err() without
+// counting a hit or a miss and without disturbing the computation.
+func TestCacheWaiterCancellation(t *testing.T) {
+	c := NewCache()
+	cfg := churnCfg(3100)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.do(context.Background(), cfg, trace.SERVER, func() (*core.Results, error) {
+			close(entered)
+			<-release
+			return fakeResults(cfg, trace.SERVER), nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	_, hit, err := c.do(ctx, cfg, trace.SERVER, func() (*core.Results, error) {
+		t.Error("cancelled waiter must not compute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) || hit {
+		t.Fatalf("cancelled waiter: hit=%v err=%v", hit, err)
+	}
+	if c.Hits() != 0 {
+		t.Fatalf("cancelled waiter counted a hit")
+	}
+
+	close(release)
+	wg.Wait()
+	// The in-flight computation completed and cached normally.
+	if c.Misses() != 1 || c.Len() != 1 {
+		t.Fatalf("computation disturbed: misses=%d len=%d", c.Misses(), c.Len())
+	}
+}
+
+// TestCacheResetDuringInflightCompute pins Reset safety: a Reset racing an
+// in-flight computation must not let the stale entry re-insert itself or
+// corrupt the accounting, and a fresh compute for the same key after Reset
+// proceeds independently.
+func TestCacheResetDuringInflightCompute(t *testing.T) {
+	c := NewCache()
+	cfg := churnCfg(3200)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, hit, err := c.do(context.Background(), cfg, trace.SFP2K, func() (*core.Results, error) {
+			close(entered)
+			<-release
+			return fakeResults(cfg, trace.SFP2K), nil
+		})
+		// The stale computer still gets its own result back.
+		if res == nil || hit || err != nil {
+			t.Errorf("stale compute: res=%v hit=%v err=%v", res, hit, err)
+		}
+	}()
+	<-entered
+	c.Reset()
+	if c.Len() != 0 || c.Misses() != 0 {
+		t.Fatalf("reset left state: len=%d misses=%d", c.Len(), c.Misses())
+	}
+	close(release)
+	wg.Wait()
+
+	// The completed stale entry must not have re-registered itself.
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("stale compute re-inserted after Reset: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	// A fresh compute after Reset is a normal miss-then-hit.
+	for want, wantHit := 0, false; want < 2; want, wantHit = want+1, true {
+		_, hit, err := c.do(context.Background(), cfg, trace.SFP2K, func() (*core.Results, error) {
+			return fakeResults(cfg, trace.SFP2K), nil
+		})
+		if err != nil || hit != wantHit {
+			t.Fatalf("post-reset call %d: hit=%v err=%v", want, hit, err)
+		}
+	}
+}
+
+// TestCacheResetConcurrentChurn hammers Reset against concurrent do calls
+// under the race detector and checks the budget invariant afterwards.
+func TestCacheResetConcurrentChurn(t *testing.T) {
+	const budget = 4
+	c := NewCacheWithBudget(budget, 0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cfg := churnCfg(uint64(4000 + (w*31+i)%16))
+				c.do(context.Background(), cfg, trace.SINT2K, func() (*core.Results, error) {
+					if i%7 == 3 {
+						return nil, fmt.Errorf("transient failure")
+					}
+					return fakeResults(cfg, trace.SINT2K), nil
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < 20; r++ {
+		time.Sleep(time.Millisecond)
+		c.Reset()
+	}
+	close(stop)
+	wg.Wait()
+	// Quiesced: every ready entry is within budget (in-flight entries have
+	// drained with the workers).
+	if n := c.Len(); n > budget {
+		t.Fatalf("after churn+resets cache holds %d entries, budget %d", n, budget)
+	}
+}
+
+// TestCacheSetBudgetEvictsImmediately verifies shrinking the budget on a
+// live cache trims it in place.
+func TestCacheSetBudgetEvictsImmediately(t *testing.T) {
+	c := NewCacheWithBudget(0, 0) // unbounded
+	for i := 0; i < 10; i++ {
+		cfg := churnCfg(uint64(5000 + i))
+		c.do(context.Background(), cfg, trace.WEB, func() (*core.Results, error) {
+			return fakeResults(cfg, trace.WEB), nil
+		})
+	}
+	if c.Len() != 10 {
+		t.Fatalf("len=%d", c.Len())
+	}
+	c.SetBudget(3, 0)
+	if c.Len() != 3 || c.Evictions() != 7 {
+		t.Fatalf("after SetBudget: len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+}

@@ -1,0 +1,82 @@
+#!/bin/sh
+# End-to-end smoke test for cmd/srlserved, used by `make serve-smoke` and
+# the CI serve-smoke step. Starts the server on an ephemeral port, runs
+# one simulate and one sweep request, checks /healthz and /metrics, then
+# sends SIGTERM and requires a clean drain (exit 0) within the deadline.
+set -eu
+
+ADDR="${SERVE_SMOKE_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/srlserved"
+LOG="$(mktemp)"
+
+cleanup() {
+    kill "$pid" 2>/dev/null || true
+    rm -f "$LOG"
+}
+
+go build -o "$BIN" ./cmd/srlserved
+
+"$BIN" -addr "$ADDR" -drain-timeout 30s 2>"$LOG" &
+pid=$!
+trap cleanup EXIT INT TERM
+
+# Wait for the listener.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server never became healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "serve-smoke: /v1/simulate"
+out=$(curl -sf -X POST "$BASE/v1/simulate" \
+    -d '{"design":"srl","suite":"SINT2K","run_uops":20000,"warmup_uops":4000}')
+case "$out" in
+*'"uops"'*) ;;
+*) echo "serve-smoke: simulate response missing uops: $out" >&2; exit 1 ;;
+esac
+
+echo "serve-smoke: /v1/sweep (table3, quick)"
+out=$(curl -sf -X POST "$BASE/v1/sweep" \
+    -d '{"experiment":"table3","quick":true,"run_uops":4000,"warmup_uops":1000}')
+case "$out" in
+*'"srl"'* | *'"suites"'* | *'"rows"'* | *'{'*) ;;
+*) echo "serve-smoke: sweep response not JSON: $out" >&2; exit 1 ;;
+esac
+
+echo "serve-smoke: /metrics"
+out=$(curl -sf "$BASE/metrics")
+case "$out" in
+*'"completed_total"'*) ;;
+*) echo "serve-smoke: metrics missing counters: $out" >&2; exit 1 ;;
+esac
+
+echo "serve-smoke: SIGTERM drain"
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "serve-smoke: server did not drain within deadline" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+set +e
+wait "$pid"
+status=$?
+set -e
+if [ "$status" -ne 0 ]; then
+    echo "serve-smoke: drain exited $status, want 0" >&2
+    cat "$LOG" >&2
+    exit 1
+fi
+trap - EXIT INT TERM
+rm -f "$LOG"
+echo "serve-smoke: ok (clean drain)"

@@ -251,6 +251,29 @@ type Progress = sweep.Progress
 // With more than one worker it is called concurrently.
 type ProgressFunc = sweep.ProgressFunc
 
+// CacheStats is a snapshot of the sweep memo cache's accounting: hit,
+// miss and eviction counters plus the current and maximum entry and byte
+// footprint.
+type CacheStats = sweep.Stats
+
+// SweepCacheStats returns the process-global memo cache's counters. The
+// cache is bounded by default (sweep.DefaultCacheEntries entries,
+// sweep.DefaultCacheBytes bytes, LRU eviction); long-lived processes such
+// as cmd/srlserved poll these counters for /metrics.
+func SweepCacheStats() CacheStats { return sweep.Global().Stats() }
+
+// SetSweepCacheBudget re-bounds the process-global memo cache, evicting
+// least-recently-used entries immediately if the new budget is smaller.
+// A maxEntries or maxBytes of zero or below disables that bound.
+func SetSweepCacheBudget(maxEntries int, maxBytes int64) {
+	sweep.Global().SetBudget(maxEntries, maxBytes)
+}
+
+// ResetSweepCache drops every memoized sweep result and zeroes the cache
+// counters. Safe to call concurrently with running sweeps: in-flight
+// computations finish against the old generation and are not re-inserted.
+func ResetSweepCache() { sweep.Global().Reset() }
+
 // DefaultOptions sizes experiments for a full reproduction run;
 // QuickOptions for fast sanity passes.
 func DefaultOptions() Options { return bench.DefaultOptions() }

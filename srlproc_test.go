@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"srlproc/internal/sweep"
 )
 
 // TestPublicAPIRoundTrip drives the library exactly as the README shows.
@@ -158,4 +160,37 @@ func ExampleRun() {
 	}
 	fmt.Println(res.Design, "on", res.Suite, "committed", res.Uops >= 5_000)
 	// Output: SRL on PROD committed true
+}
+
+// TestSweepCacheFacade exercises the memo-cache control surface: the
+// budget applies and is reported in stats, sweeps populate the cache
+// within that budget, and Reset zeroes everything.
+func TestSweepCacheFacade(t *testing.T) {
+	defer func() {
+		SetSweepCacheBudget(sweep.DefaultCacheEntries, sweep.DefaultCacheBytes)
+		ResetSweepCache()
+	}()
+	ResetSweepCache()
+	SetSweepCacheBudget(2, 1<<20)
+	st := SweepCacheStats()
+	if st.MaxEntries != 2 || st.MaxBytes != 1<<20 {
+		t.Fatalf("budget not applied: %+v", st)
+	}
+	o := QuickOptions()
+	o.RunUops, o.WarmupUops = 2_000, 500
+	if _, err := RunTable3Context(context.Background(), o); err != nil {
+		t.Fatal(err)
+	}
+	st = SweepCacheStats()
+	if st.Entries == 0 || st.Entries > 2 {
+		t.Fatalf("entries outside budget: %+v", st)
+	}
+	if st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("7-point sweep under a 2-entry budget should miss and evict: %+v", st)
+	}
+	ResetSweepCache()
+	st = SweepCacheStats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("Reset left state behind: %+v", st)
+	}
 }
