@@ -3,7 +3,7 @@
 # sweep engine's worker pool is the default execution path for every
 # experiment. Run both before merging.
 
-.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz serve serve-smoke
+.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz serve serve-smoke clean-store
 
 tier1:
 	go build ./... && go test ./...
@@ -45,12 +45,20 @@ bench-json:
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
 
-# Run the simulator as a long-lived HTTP service (cmd/srlserved). SIGTERM
-# or Ctrl-C drains gracefully: in-flight jobs finish, then the process
-# exits 0.
+# Run the simulator as a long-lived HTTP service (cmd/srlserved) with the
+# persistent result store at STOREDIR, so restarts warm-start from disk.
+# SIGTERM or Ctrl-C drains gracefully: in-flight jobs finish (and pending
+# store writes flush), then the process exits 0.
 SERVE_ADDR ?= :8080
+STOREDIR ?= .srlproc-store
 serve:
-	go run ./cmd/srlserved -addr $(SERVE_ADDR)
+	go run ./cmd/srlserved -addr $(SERVE_ADDR) -store-dir $(STOREDIR)
+
+# Drop the persistent result store. Safe at any time: the store is a pure
+# cache of recomputable simulation results, keyed by code stamp — the next
+# run simply recomputes and repopulates it.
+clean-store:
+	rm -rf $(STOREDIR)
 
 # End-to-end service smoke test, mirrored by the CI serve-smoke step:
 # start srlserved, run one simulate and one sweep request, check /healthz

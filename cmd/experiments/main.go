@@ -8,6 +8,10 @@
 // (the baseline, the SRL) only once. Ctrl-C cancels gracefully: in-flight
 // points abort and the process exits instead of leaking goroutines.
 //
+// -store-dir points at a persistent result store (internal/store): points
+// simulated by earlier runs of the same binary are replayed from disk
+// instead of recomputed, and fresh results are persisted for the next run.
+//
 // Output is the paper's tables by default; -json and -csv switch to
 // machine-readable exports. -timeline and -trace-out enable per-run
 // observability (internal/obs) and export the cycle-window time-series
@@ -36,6 +40,8 @@ import (
 	"srlproc/internal/cli"
 	"srlproc/internal/core"
 	"srlproc/internal/obs"
+	"srlproc/internal/store"
+	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
 
@@ -55,6 +61,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 10m); 0 = no limit")
 	progress := flag.Bool("progress", false, "print live sweep progress to stderr")
 	nocache := flag.Bool("nocache", false, "disable cross-experiment result memoization")
+	storeDir := flag.String("store-dir", "", "persistent result-store directory: reuse results from earlier runs of this binary and persist new ones")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	csvOut := flag.Bool("csv", false, "emit results as CSV instead of tables")
 	timelineOut := flag.String("timeline", "", "write every point's cycle-window timeline as one CSV to this file ('-' = stdout); enables sampling")
@@ -126,6 +133,26 @@ func run() int {
 	}
 	if err := o.Validate(); err != nil {
 		return usage("%v", err)
+	}
+
+	// -store-dir makes the run's results durable: the memo cache falls
+	// through to the on-disk store before simulating, so a rerun of the
+	// same binary over the same points replays instead of recomputing.
+	if *storeDir != "" {
+		st, err := store.OpenDisk(*storeDir)
+		if err != nil {
+			return fail("-store-dir: %v", err)
+		}
+		cache := o.Cache
+		if cache == nil {
+			cache = sweep.Global()
+		}
+		cache.AttachStore(st)
+		defer func() {
+			cache.FlushStore()
+			cache.AttachStore(nil)
+			st.Close()
+		}()
 	}
 
 	want := func(name string) bool { return *only == "" || *only == name }
@@ -213,39 +240,22 @@ func run() int {
 		}
 		return cli.OK
 	}
-	for _, e := range []struct {
-		name string
-		f    func(context.Context, bench.Options) (fmt.Stringer, error)
-	}{
-		{"fig2", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunFigure2Context(ctx, o)
-		}},
-		{"fig6", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunFigure6Context(ctx, o)
-		}},
-		{"table3", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunTable3Context(ctx, o)
-		}},
-		{"fig7", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunFigure7Context(ctx, o)
-		}},
-		{"fig8", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunFigure8Context(ctx, o)
-		}},
-		{"fig9", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunFigure9Context(ctx, o)
-		}},
-		{"fig10", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunFigure10Context(ctx, o)
-		}},
-		{"energy", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunEnergyContext(ctx, o)
-		}},
-		{"latency", func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
-			return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
-		}},
+	// Every experiment dispatches through bench.RunExperiment; the order is
+	// the report's presentation order (Table 3 between Figures 6 and 7),
+	// not the ExperimentID declaration order.
+	for _, id := range []bench.ExperimentID{
+		bench.Fig2, bench.Fig6, bench.Table3, bench.Fig7, bench.Fig8,
+		bench.Fig9, bench.Fig10, bench.Energy, bench.Latency,
 	} {
-		if code := runExp(e.name, e.f); code != cli.OK {
+		id := id
+		f := func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
+			r, err := bench.RunExperiment(ctx, id, o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Value().(fmt.Stringer), nil
+		}
+		if code := runExp(id.String(), f); code != cli.OK {
 			return code
 		}
 	}

@@ -11,7 +11,11 @@
 // The server executes jobs on the internal sweep worker pool with
 // per-request deadlines, sheds load with 429 + Retry-After once its
 // bounded queue is full, collapses retried identical requests onto the
-// bounded memo cache, and exports /healthz and /metrics. SIGTERM or
+// bounded memo cache, and exports /healthz and /metrics. With -store-dir
+// the memo cache gains a persistent tier: results survive restarts (a
+// restarted server answers repeated sweeps without simulating), persisted
+// points are served by GET /v1/results/{fingerprint}, and GET
+// /v1/store/stats reports the store counters. SIGTERM or
 // SIGINT starts a graceful drain: the listener stops accepting, in-flight
 // jobs finish, and after -drain-timeout whatever remains is cancelled.
 // A clean drain exits 0; a drain that hit the hard deadline exits 1.
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"srlproc/internal/serve"
+	"srlproc/internal/store"
 	"srlproc/internal/sweep"
 )
 
@@ -46,6 +51,7 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain hard deadline after SIGTERM")
 		cacheEntries = flag.Int("cache-entries", sweep.DefaultCacheEntries, "memo cache entry budget (<=0 = unbounded)")
 		cacheMB      = flag.Int64("cache-mb", sweep.DefaultCacheBytes>>20, "memo cache byte budget in MiB (<=0 = unbounded)")
+		storeDir     = flag.String("store-dir", "", "persistent result-store directory: warm-start the cache across restarts and serve GET /v1/results")
 	)
 	flag.Parse()
 
@@ -65,6 +71,16 @@ func run() int {
 	if queueDepth <= 0 {
 		queueDepth = -1
 	}
+	var resultStore store.ResultStore
+	if *storeDir != "" {
+		st, err := store.OpenDisk(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "srlserved: -store-dir:", err)
+			return 1
+		}
+		defer st.Close()
+		resultStore = st
+	}
 	srv := serve.New(serve.Config{
 		MaxConcurrent:  *concurrency,
 		QueueDepth:     queueDepth,
@@ -73,7 +89,11 @@ func run() int {
 		MaxTimeout:     *maxTimeout,
 		DrainTimeout:   *drainTimeout,
 		Cache:          sweep.NewCacheWithBudget(*cacheEntries, *cacheMB<<20),
+		Store:          resultStore,
 	})
+	if resultStore != nil {
+		fmt.Fprintf(os.Stderr, "srlserved: result store at %s (stamp %s)\n", *storeDir, store.CodeStamp())
+	}
 	fmt.Fprintf(os.Stderr, "srlserved: listening on %s (concurrency %d, queue %d)\n",
 		ln.Addr(), *concurrency, *queue)
 

@@ -70,6 +70,11 @@ type Options struct {
 	// both. See obs.Config. Observed points fingerprint differently from
 	// unobserved ones, so they memoize separately.
 	Obs obs.Config
+
+	// LatencySuite selects the benchmark suite the Latency experiment
+	// sweeps; other experiments ignore it. The zero value is trace.SFP2K,
+	// the suite the CLI and HTTP surfaces have always used.
+	LatencySuite trace.Suite
 }
 
 // DefaultOptions is sized for minutes-scale full reproduction runs.
@@ -210,13 +215,26 @@ var Figure2Sizes = []int{128, 256, 512, 1024}
 
 // RunFigure2 reproduces Figure 2 with context.Background(); see
 // RunFigure2Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Fig2, o) — the unified entry
+// point every surface dispatches through — or RunFigure2Context to keep
+// the typed result; this form cannot be cancelled.
 func RunFigure2(o Options) (*FigureResult, error) {
 	return RunFigure2Context(context.Background(), o)
 }
 
 // RunFigure2Context reproduces Figure 2: percent speedup of single-level
 // store queues of 128..1K entries over the 48-entry baseline, per suite.
+// It is a typed shim over RunExperiment(ctx, Fig2, o).
 func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
+	r, err := RunExperiment(ctx, Fig2, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Figure, nil
+}
+
+func runFigure2(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	var labeled []struct {
 		Label string
@@ -241,14 +259,25 @@ func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
 
 // RunFigure6 reproduces Figure 6 with context.Background(); see
 // RunFigure6Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Fig6, o) or
+// RunFigure6Context; this form cannot be cancelled.
 func RunFigure6(o Options) (*FigureResult, error) {
 	return RunFigure6Context(context.Background(), o)
 }
 
 // RunFigure6Context reproduces Figure 6: SRL vs the hierarchical store
 // queue vs an ideal (1K-entry, fast) store queue, as percent speedup over
-// the baseline.
+// the baseline. It is a typed shim over RunExperiment(ctx, Fig6, o).
 func RunFigure6Context(ctx context.Context, o Options) (*FigureResult, error) {
+	r, err := RunExperiment(ctx, Fig6, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Figure, nil
+}
+
+func runFigure6(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	srl := core.DefaultConfig(core.DesignSRL)
 	hier := core.DefaultConfig(core.DesignHierarchical)
@@ -296,12 +325,24 @@ func (t *Table3Result) String() string {
 
 // RunTable3 reproduces Table 3 with context.Background(); see
 // RunTable3Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Table3, o) or
+// RunTable3Context; this form cannot be cancelled.
 func RunTable3(o Options) (*Table3Result, error) {
 	return RunTable3Context(context.Background(), o)
 }
 
-// RunTable3Context reproduces Table 3 on the SRL configuration.
+// RunTable3Context reproduces Table 3 on the SRL configuration. It is a
+// typed shim over RunExperiment(ctx, Table3, o).
 func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
+	r, err := RunExperiment(ctx, Table3, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Table3, nil
+}
+
+func runTable3(ctx context.Context, o Options) (*Table3Result, error) {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
 	raw, err := runMatrix(ctx, o, cfgs)
 	if err != nil {
@@ -353,13 +394,24 @@ func (f *Figure7Result) String() string {
 
 // RunFigure7 reproduces Figure 7 with context.Background(); see
 // RunFigure7Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Fig7, o) or
+// RunFigure7Context; this form cannot be cancelled.
 func RunFigure7(o Options) (*Figure7Result, error) {
 	return RunFigure7Context(context.Background(), o)
 }
 
 // RunFigure7Context reproduces Figure 7 from the SRL configuration's
-// occupancy tracker.
+// occupancy tracker. It is a typed shim over RunExperiment(ctx, Fig7, o).
 func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
+	r, err := RunExperiment(ctx, Fig7, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Figure7, nil
+}
+
+func runFigure7(ctx context.Context, o Options) (*Figure7Result, error) {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
 	raw, err := runMatrix(ctx, o, cfgs)
 	if err != nil {
@@ -381,14 +433,25 @@ func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 
 // RunFigure8 reproduces Figure 8 with context.Background(); see
 // RunFigure8Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Fig8, o) or
+// RunFigure8Context; this form cannot be cancelled.
 func RunFigure8(o Options) (*FigureResult, error) {
 	return RunFigure8Context(context.Background(), o)
 }
 
 // RunFigure8Context reproduces Figure 8: SRL, SRL without indexed
 // forwarding, and SRL without the LCF and indexed forwarding, over the
-// baseline.
+// baseline. It is a typed shim over RunExperiment(ctx, Fig8, o).
 func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
+	r, err := RunExperiment(ctx, Fig8, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Figure, nil
+}
+
+func runFigure8(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	full := core.DefaultConfig(core.DesignSRL)
 	noIF := core.DefaultConfig(core.DesignSRL)
@@ -411,13 +474,25 @@ func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
 
 // RunFigure9 reproduces Figure 9 with context.Background(); see
 // RunFigure9Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Fig9, o) or
+// RunFigure9Context; this form cannot be cancelled.
 func RunFigure9(o Options) (*FigureResult, error) {
 	return RunFigure9Context(context.Background(), o)
 }
 
 // RunFigure9Context reproduces Figure 9: LCF sizes 256/2K crossed with LAB
-// and 3-PAX hashing, plus a no-LCF reference, over the baseline.
+// and 3-PAX hashing, plus a no-LCF reference, over the baseline. It is a
+// typed shim over RunExperiment(ctx, Fig9, o).
 func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
+	r, err := RunExperiment(ctx, Fig9, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Figure, nil
+}
+
+func runFigure9(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	mk := func(size int, hash lsq.HashKind) core.Config {
 		cfg := core.DefaultConfig(core.DesignSRL)
@@ -445,14 +520,25 @@ func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
 
 // RunFigure10 reproduces Figure 10 with context.Background(); see
 // RunFigure10Context.
+//
+// Deprecated: migrate to RunExperiment(ctx, Fig10, o) or
+// RunFigure10Context; this form cannot be cancelled.
 func RunFigure10(o Options) (*FigureResult, error) {
 	return RunFigure10Context(context.Background(), o)
 }
 
 // RunFigure10Context reproduces Figure 10: SRL with the separate
 // forwarding cache vs using the data cache for temporary updates, over the
-// baseline.
+// baseline. It is a typed shim over RunExperiment(ctx, Fig10, o).
 func RunFigure10Context(ctx context.Context, o Options) (*FigureResult, error) {
+	r, err := RunExperiment(ctx, Fig10, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Figure, nil
+}
+
+func runFigure10(ctx context.Context, o Options) (*FigureResult, error) {
 	base := core.DefaultConfig(core.DesignBaseline)
 	fc := core.DefaultConfig(core.DesignSRL)
 	dc := core.DefaultConfig(core.DesignSRL)
@@ -546,16 +632,28 @@ func (e *EnergyResult) String() string {
 
 // RunEnergy runs the energy attribution with context.Background(); see
 // RunEnergyContext.
+//
+// Deprecated: migrate to RunExperiment(ctx, Energy, o) or
+// RunEnergyContext; this form cannot be cancelled.
 func RunEnergy(o Options) (*EnergyResult, error) {
 	return RunEnergyContext(context.Background(), o)
 }
 
 // RunEnergyContext runs the hierarchical and SRL designs across all suites
-// and attributes dynamic energy to their structure activity. It quantifies
-// the paper's argument from the simulation itself: the hierarchical
-// design's energy is dominated by CAM comparator activations that the SRL
-// design simply never performs.
+// and attributes dynamic energy to their structure activity. It is a typed
+// shim over RunExperiment(ctx, Energy, o).
 func RunEnergyContext(ctx context.Context, o Options) (*EnergyResult, error) {
+	r, err := RunExperiment(ctx, Energy, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Energy, nil
+}
+
+// runEnergy quantifies the paper's argument from the simulation itself:
+// the hierarchical design's energy is dominated by CAM comparator
+// activations that the SRL design simply never performs.
+func runEnergy(ctx context.Context, o Options) (*EnergyResult, error) {
 	filtered := core.DefaultConfig(core.DesignFilteredSTQ)
 	filtered.STQSize = 1024
 	cfgs := map[string]core.Config{
@@ -647,16 +745,32 @@ var LatencySweepLatencies = []uint64{200, 400, 800, 1600}
 
 // RunLatencySweep runs the latency tolerance sweep with
 // context.Background(); see RunLatencySweepContext.
+//
+// Deprecated: migrate to RunExperiment(ctx, Latency, o) with
+// Options.LatencySuite set, or RunLatencySweepContext; this form cannot
+// be cancelled.
 func RunLatencySweep(o Options, suite trace.Suite) (*LatencyResult, error) {
 	return RunLatencySweepContext(context.Background(), o, suite)
 }
 
-// RunLatencySweepContext measures how each design's throughput degrades as
+// RunLatencySweepContext runs the latency tolerance sweep on one suite.
+// It is a typed shim over RunExperiment(ctx, Latency, o) with
+// Options.LatencySuite set to suite.
+func RunLatencySweepContext(ctx context.Context, o Options, suite trace.Suite) (*LatencyResult, error) {
+	o.LatencySuite = suite
+	r, err := RunExperiment(ctx, Latency, o)
+	if err != nil {
+		return nil, err
+	}
+	return r.Latency, nil
+}
+
+// runLatencySweep measures how each design's throughput degrades as
 // memory latency grows — the latency tolerance the paper's title claims.
 // The baseline's small store queue caps its in-flight window, so its IPC
 // decays faster with latency than the SRL's (whose secondary buffering
 // scales the window with the miss).
-func RunLatencySweepContext(ctx context.Context, o Options, suite trace.Suite) (*LatencyResult, error) {
+func runLatencySweep(ctx context.Context, o Options, suite trace.Suite) (*LatencyResult, error) {
 	type pointID struct {
 		d   core.StoreDesign
 		lat uint64

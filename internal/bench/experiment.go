@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"srlproc/internal/trace"
+)
+
+// ExperimentID names one experiment of the paper's evaluation. It is the
+// single entry-point vocabulary shared by the library facade
+// (srlproc.RunExperiment), the CLI (cmd/experiments) and the HTTP service
+// (POST /v1/sweep): every surface resolves a name to an ExperimentID and
+// dispatches through RunExperiment, so experiments behave identically no
+// matter which door they come in through.
+type ExperimentID int
+
+// The experiments, in the evaluation's presentation order.
+const (
+	// Fig2 sweeps single-level store queue sizes (128..1K entries).
+	Fig2 ExperimentID = iota
+	// Fig6 compares SRL vs hierarchical vs ideal store queues.
+	Fig6
+	// Fig7 measures the SRL occupancy distribution.
+	Fig7
+	// Fig8 ablates the LCF and indexed forwarding.
+	Fig8
+	// Fig9 crosses LCF sizes with hashing functions.
+	Fig9
+	// Fig10 compares the forwarding cache against data-cache forwarding.
+	Fig10
+	// Table3 reports SRL statistics per suite.
+	Table3
+	// Energy attributes dynamic energy to structure activity.
+	Energy
+	// Latency sweeps memory latency per design (Options.LatencySuite
+	// selects the suite; its zero value is SFP2K).
+	Latency
+
+	numExperiments
+)
+
+// experimentNames are the canonical wire names — exactly the names
+// /v1/sweep and `experiments -only` have always accepted.
+var experimentNames = [numExperiments]string{
+	Fig2:    "fig2",
+	Fig6:    "fig6",
+	Fig7:    "fig7",
+	Fig8:    "fig8",
+	Fig9:    "fig9",
+	Fig10:   "fig10",
+	Table3:  "table3",
+	Energy:  "energy",
+	Latency: "latency",
+}
+
+// AllExperiments lists every experiment in presentation order.
+func AllExperiments() []ExperimentID {
+	out := make([]ExperimentID, numExperiments)
+	for i := range out {
+		out[i] = ExperimentID(i)
+	}
+	return out
+}
+
+// String returns the canonical experiment name.
+func (id ExperimentID) String() string {
+	if id >= 0 && id < numExperiments {
+		return experimentNames[id]
+	}
+	return fmt.Sprintf("experiment(%d)", int(id))
+}
+
+// Valid reports whether id names a known experiment.
+func (id ExperimentID) Valid() bool { return id >= 0 && id < numExperiments }
+
+// MarshalText renders the canonical name, so ExperimentIDs embed cleanly
+// in JSON documents and map keys.
+func (id ExperimentID) MarshalText() ([]byte, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("bench: invalid experiment id %d", int(id))
+	}
+	return []byte(id.String()), nil
+}
+
+// UnmarshalText resolves a name via ParseExperimentID (aliases included).
+func (id *ExperimentID) UnmarshalText(text []byte) error {
+	got, err := ParseExperimentID(string(text))
+	if err != nil {
+		return err
+	}
+	*id = got
+	return nil
+}
+
+// ParseExperimentID resolves an experiment name: the canonical short names
+// ("fig2" ... "table3", "energy", "latency"), their long aliases
+// ("figure2", "figure10"), case-insensitively.
+func ParseExperimentID(name string) (ExperimentID, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	n = strings.Replace(n, "figure", "fig", 1)
+	for id, canon := range experimentNames {
+		if n == canon {
+			return ExperimentID(id), nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown experiment %q (have: %s)", name, ExperimentNames())
+}
+
+// ExperimentNames returns the canonical names, space-separated in
+// presentation order — ready for error messages and usage strings.
+func ExperimentNames() string {
+	return strings.Join(experimentNames[:], " ")
+}
+
+// ExperimentResult is the tagged result of one RunExperiment call: ID
+// reports which experiment ran and exactly one result field is non-nil.
+// Value returns that field untyped; the typed fields serve callers that
+// already know what they asked for.
+//
+// The JSON form is the inner result document itself (the ID rides in
+// headers or envelopes chosen by each surface), so a document produced
+// through RunExperiment is byte-identical to one from the per-experiment
+// entry points.
+type ExperimentResult struct {
+	ID ExperimentID
+
+	Figure  *FigureResult  // Fig2, Fig6, Fig8, Fig9, Fig10
+	Figure7 *Figure7Result // Fig7
+	Table3  *Table3Result  // Table3
+	Energy  *EnergyResult  // Energy
+	Latency *LatencyResult // Latency
+}
+
+// Value returns the one non-nil result, untyped.
+func (r *ExperimentResult) Value() any {
+	switch {
+	case r.Figure != nil:
+		return r.Figure
+	case r.Figure7 != nil:
+		return r.Figure7
+	case r.Table3 != nil:
+		return r.Table3
+	case r.Energy != nil:
+		return r.Energy
+	case r.Latency != nil:
+		return r.Latency
+	}
+	return nil
+}
+
+// String renders the result's human-readable table.
+func (r *ExperimentResult) String() string {
+	if v, ok := r.Value().(fmt.Stringer); ok {
+		return v.String()
+	}
+	return fmt.Sprintf("%s: no result", r.ID)
+}
+
+// MarshalJSON emits the inner result document, unwrapped.
+func (r *ExperimentResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Value())
+}
+
+// RunExperiment runs one experiment of the paper's evaluation. It is the
+// unified entry point behind every per-experiment Run* function: resolve
+// an ExperimentID (ParseExperimentID for wire names), pick Options, and
+// the returned ExperimentResult carries the same document the dedicated
+// entry point would have produced.
+func RunExperiment(ctx context.Context, id ExperimentID, o Options) (*ExperimentResult, error) {
+	out := &ExperimentResult{ID: id}
+	var err error
+	switch id {
+	case Fig2:
+		out.Figure, err = runFigure2(ctx, o)
+	case Fig6:
+		out.Figure, err = runFigure6(ctx, o)
+	case Fig7:
+		out.Figure7, err = runFigure7(ctx, o)
+	case Fig8:
+		out.Figure, err = runFigure8(ctx, o)
+	case Fig9:
+		out.Figure, err = runFigure9(ctx, o)
+	case Fig10:
+		out.Figure, err = runFigure10(ctx, o)
+	case Table3:
+		out.Table3, err = runTable3(ctx, o)
+	case Energy:
+		out.Energy, err = runEnergy(ctx, o)
+	case Latency:
+		out.Latency, err = runLatencySweep(ctx, o, o.LatencySuite)
+	default:
+		return nil, fmt.Errorf("bench: invalid experiment id %d", int(id))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// suite check: Latency's default (the zero LatencySuite) must stay SFP2K,
+// the suite the HTTP and CLI surfaces have always swept.
+var _ = [1]struct{}{}[trace.SFP2K]

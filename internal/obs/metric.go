@@ -11,6 +11,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -182,6 +183,27 @@ func (s *MetricSet) String() string {
 		fmt.Fprintf(&b, "%-40s %d\n", m.String(), s[m])
 	}
 	return b.String()
+}
+
+// UnmarshalJSON rebuilds the set from its MarshalJSON name→value form.
+// Unknown metric names are an error rather than silently dropped: a
+// document that names a metric this build does not know was produced by a
+// different code version, and the persistent result store treats such
+// entries as unreadable instead of returning a lossy rehydration.
+func (s *MetricSet) UnmarshalJSON(data []byte) error {
+	var byName map[string]uint64
+	if err := json.Unmarshal(data, &byName); err != nil {
+		return err
+	}
+	*s = MetricSet{}
+	for name, v := range byName {
+		m, ok := MetricByName(name)
+		if !ok {
+			return fmt.Errorf("obs: unknown metric %q in document", name)
+		}
+		s[m] = v
+	}
+	return nil
 }
 
 // MarshalJSON renders the non-zero metrics as a name→value object in

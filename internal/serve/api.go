@@ -6,11 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"srlproc/internal/bench"
 	"srlproc/internal/core"
+	"srlproc/internal/store"
 	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
@@ -188,7 +190,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // paper's evaluation (a Figure 2/6-style batch, Table 3, ...).
 type SweepRequest struct {
 	// Experiment names the batch: fig2, fig6, fig7, fig8, fig9, fig10,
-	// table3, energy, latency.
+	// table3, energy, latency — or a "figure2"-style alias; names resolve
+	// through bench.ParseExperimentID.
 	Experiment string `json:"experiment"`
 
 	// Quick runs at reduced scale (bench.QuickOptions).
@@ -213,42 +216,13 @@ type SweepRequest struct {
 // experimentRunner adapts one bench runner to a uniform signature.
 type experimentRunner func(ctx context.Context, o bench.Options) (any, error)
 
-// experiments is the named-batch registry served by /v1/sweep.
-var experiments = map[string]experimentRunner{
-	"fig2": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunFigure2Context(ctx, o)
-	},
-	"fig6": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunFigure6Context(ctx, o)
-	},
-	"fig7": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunFigure7Context(ctx, o)
-	},
-	"fig8": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunFigure8Context(ctx, o)
-	},
-	"fig9": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunFigure9Context(ctx, o)
-	},
-	"fig10": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunFigure10Context(ctx, o)
-	},
-	"table3": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunTable3Context(ctx, o)
-	},
-	"energy": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunEnergyContext(ctx, o)
-	},
-	"latency": func(ctx context.Context, o bench.Options) (any, error) {
-		return bench.RunLatencySweepContext(ctx, o, trace.SFP2K)
-	},
-}
-
-// Experiments lists the batch names /v1/sweep accepts.
+// Experiments lists the batch names /v1/sweep accepts, in the
+// evaluation's presentation order.
 func Experiments() []string {
-	out := make([]string, 0, len(experiments))
-	for name := range experiments {
-		out = append(out, name)
+	ids := bench.AllExperiments()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
 	}
 	return out
 }
@@ -280,19 +254,25 @@ func (req *SweepRequest) options(s *Server) bench.Options {
 
 // handleSweep executes one named experiment batch and answers with its
 // JSON document — the same document `experiments -json -only <name>`
-// writes — or streams progress over SSE when requested.
+// writes — or streams progress over SSE when requested. Experiment names
+// resolve through bench.ParseExperimentID, so the historical short names
+// and the "figure2"-style aliases are both accepted; the canonical name
+// is echoed in the X-Srlproc-Experiment response header.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.bump(func(c *counters) { c.Requests++ })
 	var req SweepRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	runner, ok := experiments[req.Experiment]
-	if !ok {
+	id, err := bench.ParseExperimentID(req.Experiment)
+	if err != nil {
 		s.bump(func(c *counters) { c.BadRequests++ })
-		s.writeError(w, http.StatusBadRequest,
-			"unknown experiment %q (have: fig2 fig6 fig7 fig8 fig9 fig10 table3 energy latency)", req.Experiment)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	w.Header().Set("X-Srlproc-Experiment", id.String())
+	runner := func(ctx context.Context, o bench.Options) (any, error) {
+		return bench.RunExperiment(ctx, id, o)
 	}
 	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 
@@ -440,4 +420,60 @@ func (s *Server) streamSweep(w http.ResponseWriter, ctx context.Context, runner 
 			return
 		}
 	}
+}
+
+// handleResults serves one persisted result by point fingerprint: the
+// GET /v1/results/{fingerprint} body is the exact core.Results JSON
+// document the simulation answered with. Results are looked up in the
+// attached persistent store under this binary's code stamp — 503 without
+// a store, 404 when the point is unknown (or persisted artifacts-only,
+// i.e. not hydratable).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	s.bump(func(c *counters) { c.Requests++ })
+	st := s.cache.Store()
+	if st == nil {
+		s.writeError(w, http.StatusServiceUnavailable, "no result store attached (start with -store-dir)")
+		return
+	}
+	raw := r.PathValue("fingerprint")
+	fp, err := strconv.ParseUint(raw, 16, 64)
+	if err != nil || len(raw) != 16 {
+		s.bump(func(c *counters) { c.BadRequests++ })
+		s.writeError(w, http.StatusBadRequest, "fingerprint %q: want 16 hex digits", raw)
+		return
+	}
+	key := store.Key{Fingerprint: fp, Stamp: store.CodeStamp()}
+	res, ok, err := st.Get(key)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no stored result for point %s under this build", key.FingerprintHex())
+		return
+	}
+	doc, err := json.Marshal(res)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("X-Srlproc-Point", key.FingerprintHex())
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleStoreStats serves the persistent store's counter snapshot, or 503
+// when the server runs without a store.
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	s.bump(func(c *counters) { c.Requests++ })
+	st, ok := s.cache.StoreStats()
+	if !ok {
+		s.writeError(w, http.StatusServiceUnavailable, "no result store attached (start with -store-dir)")
+		return
+	}
+	doc, err := json.Marshal(st)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
 }

@@ -15,6 +15,7 @@ import (
 
 	"srlproc/internal/core"
 	"srlproc/internal/serve"
+	"srlproc/internal/store"
 	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
@@ -365,5 +366,135 @@ func TestMetricsAndHealth(t *testing.T) {
 	hb := readAll(t, h)
 	if h.StatusCode != http.StatusOK || !strings.Contains(string(hb), `"status":"ok"`) {
 		t.Fatalf("healthz %d: %s", h.StatusCode, hb)
+	}
+}
+
+// TestSweepExperimentAliasHeader pins the unified experiment dispatch:
+// alias names resolve, and the canonical name is echoed in the
+// X-Srlproc-Experiment response header.
+func TestSweepExperimentAliasHeader(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/sweep",
+		`{"experiment":"Figure10","run_uops":3000,"warmup_uops":500}`)
+	b := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	if h := resp.Header.Get("X-Srlproc-Experiment"); h != "fig10" {
+		t.Fatalf("X-Srlproc-Experiment = %q, want fig10", h)
+	}
+}
+
+// TestStoreEndpointsWithoutStore pins the storeless responses: both store
+// endpoints answer 503 when no persistent tier is attached.
+func TestStoreEndpointsWithoutStore(t *testing.T) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/results/0123456789abcdef", "/v1/store/stats"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := readAll(t, resp)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s: status %d (%s), want 503", path, resp.StatusCode, b)
+		}
+	}
+}
+
+// TestStoreWarmRestartOverHTTP is the service-level warm-restart round
+// trip: simulate a point on a server backed by a disk store, "restart"
+// (fresh server + memo cache over the same directory), and require the
+// repeated request to be served from the store — cache-hit header, zero
+// store misses, byte-identical body — and the persisted document to be
+// retrievable via GET /v1/results/{fingerprint}.
+func TestStoreWarmRestartOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"design":"srl","suite":"WEB","run_uops":12000,"warmup_uops":2000}`
+
+	st1, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := serve.New(serve.Config{Store: st1})
+	ts1 := httptest.NewServer(srv1.Handler())
+	cold := post(t, ts1.Client(), ts1.URL+"/v1/simulate", body)
+	coldDoc := readAll(t, cold)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d: %s", cold.StatusCode, coldDoc)
+	}
+	fp := cold.Header.Get("X-Srlproc-Point")
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint header %q", fp)
+	}
+	srv1.Cache().FlushStore() // what drain does before process exit
+
+	// The persisted document is directly addressable.
+	resp, err := ts1.Client().Get(ts1.URL + "/v1/results/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d: %s", resp.StatusCode, fetched)
+	}
+	if !bytes.Equal(fetched, coldDoc) {
+		t.Fatal("GET /v1/results body differs from the simulate response")
+	}
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/results/ffffffffffffffff", http.StatusNotFound},
+		{"/v1/results/xyz", http.StatusBadRequest},
+	} {
+		r, err := ts1.Client().Get(ts1.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, r)
+		if r.StatusCode != tc.want {
+			t.Fatalf("GET %s: status %d, want %d", tc.path, r.StatusCode, tc.want)
+		}
+	}
+	ts1.Close()
+
+	// "Restart": a fresh server, fresh memo cache, same store directory.
+	st2, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := serve.New(serve.Config{Store: st2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	warm := post(t, ts2.Client(), ts2.URL+"/v1/simulate", body)
+	warmDoc := readAll(t, warm)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm status %d: %s", warm.StatusCode, warmDoc)
+	}
+	if h := warm.Header.Get("X-Srlproc-Cache"); h != "hit" {
+		t.Fatalf("warm cache header %q, want hit", h)
+	}
+	if !bytes.Equal(coldDoc, warmDoc) {
+		t.Fatal("warm-restart response is not byte-identical")
+	}
+	stResp, err := ts2.Client().Get(ts2.URL + "/v1/store/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats store.Stats
+	if err := json.Unmarshal(readAll(t, stResp), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits == 0 || stats.Misses != 0 || stats.Puts != 0 {
+		t.Fatalf("warm store stats: %+v", stats)
+	}
+	if doc := srv2.Cache().Stats(); doc.Misses != 0 || doc.StoreHits == 0 {
+		t.Fatalf("warm cache stats: %+v", doc)
 	}
 }

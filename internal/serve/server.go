@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"srlproc/internal/obs"
+	"srlproc/internal/store"
 	"srlproc/internal/sweep"
 )
 
@@ -66,6 +67,13 @@ type Config struct {
 	// Cache is the memo cache jobs run against; nil means a fresh bounded
 	// cache with the sweep package defaults.
 	Cache *sweep.Cache
+
+	// Store, when non-nil, is attached to the cache as its persistent
+	// tier: memo misses fall through to it before simulating, completions
+	// write through, and GET /v1/results/{fingerprint} + /v1/store/stats
+	// are served from it. Pending writes are flushed on drain; the caller
+	// retains ownership and closes the store after Serve returns.
+	Store store.ResultStore
 
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
@@ -141,6 +149,9 @@ type Server struct {
 // New builds a Server from cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.Store != nil {
+		cfg.Cache.AttachStore(cfg.Store)
+	}
 	hardCtx, hardCancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:        cfg,
@@ -161,6 +172,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/results/{fingerprint}", s.handleResults)
+	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -187,8 +200,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 }
 
 // drain performs the graceful-shutdown sequence described on Serve.
+// Either way it ends, pending store write-throughs are flushed so every
+// completed job's result is durable before the process exits.
 func (s *Server) drain(hs *http.Server) error {
 	s.draining.Store(true)
+	defer s.cache.FlushStore()
 	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	err := hs.Shutdown(dctx) // stop accepting, wait for in-flight handlers
@@ -400,7 +416,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsDoc is the /metrics response body: server-lifetime counters,
-// the memo-cache snapshot, and the aggregated per-run typed metrics.
+// the memo-cache snapshot, the persistent-store snapshot (when a store
+// is attached), and the aggregated per-run typed metrics.
 type metricsDoc struct {
 	Server struct {
 		counters
@@ -409,6 +426,7 @@ type metricsDoc struct {
 		Queued   int   `json:"queued"`
 	} `json:"server"`
 	Cache      sweep.Stats       `json:"cache"`
+	Store      *store.Stats      `json:"store,omitempty"`
 	SimMetrics map[string]uint64 `json:"sim_metrics"`
 }
 
@@ -427,6 +445,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc.Server.InFlight = running
 	doc.Server.Queued = queued
 	doc.Cache = s.cache.Stats()
+	if st, ok := s.cache.StoreStats(); ok {
+		doc.Store = &st
+	}
 	b, err := json.Marshal(doc)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)

@@ -6,6 +6,7 @@ package stats
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -54,6 +55,25 @@ func (c *Counters) String() string {
 // MarshalJSON renders the counters as a name→value object.
 func (c *Counters) MarshalJSON() ([]byte, error) {
 	return json.Marshal(c.m)
+}
+
+// UnmarshalJSON rebuilds the counter set from its MarshalJSON form. The
+// first-touch order is not part of the JSON document, so a rehydrated set
+// iterates in sorted-name order; the JSON form (which sorts map keys)
+// round-trips byte-identically, which is what the persistent result store
+// relies on.
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	var m map[string]uint64
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	c.m = m
+	c.order = c.order[:0]
+	for name := range m {
+		c.order = append(c.order, name)
+	}
+	sort.Strings(c.order)
+	return nil
 }
 
 // Histogram is a fixed-bucket histogram over non-negative integer samples.
@@ -156,6 +176,49 @@ func (h *Histogram) MarshalJSON() ([]byte, error) {
 	}{h.total, h.max, h.Mean(), out})
 }
 
+// UnmarshalJSON rebuilds the histogram from its MarshalJSON form: bucket
+// bounds and counts are explicit in the document; the internal weighted sum
+// is recovered from mean*total (exact for any realistic simulation total,
+// and the persistent result store verifies full-document round-trips before
+// relying on them).
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var doc struct {
+		Total   uint64  `json:"total"`
+		Max     uint64  `json:"max"`
+		Mean    float64 `json:"mean"`
+		Buckets []struct {
+			Bound uint64 `json:"bound"`
+			Count uint64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if len(doc.Buckets) < 1 {
+		return fmt.Errorf("stats: histogram document has no buckets")
+	}
+	n := len(doc.Buckets) - 1 // last bucket is the overflow bucket
+	if doc.Buckets[n].Bound != ^uint64(0) {
+		return fmt.Errorf("stats: histogram document missing overflow bucket")
+	}
+	bounds := make([]uint64, n)
+	counts := make([]uint64, n+1)
+	for i := 0; i < n; i++ {
+		if i > 0 && doc.Buckets[i].Bound <= doc.Buckets[i-1].Bound {
+			return fmt.Errorf("stats: histogram document bounds must ascend")
+		}
+		bounds[i] = doc.Buckets[i].Bound
+		counts[i] = doc.Buckets[i].Count
+	}
+	counts[n] = doc.Buckets[n].Count
+	h.bounds = bounds
+	h.counts = counts
+	h.total = doc.Total
+	h.max = doc.Max
+	h.sum = uint64(math.Round(doc.Mean * float64(doc.Total)))
+	return nil
+}
+
 // Buckets returns (upper-bound, count) pairs; the final pair has bound
 // ^uint64(0) for the overflow bucket.
 func (h *Histogram) Buckets() []struct {
@@ -253,6 +316,26 @@ func (o *OccupancyTracker) MarshalJSON() ([]byte, error) {
 		OccupiedCycles uint64     `json:"occupiedCycles"`
 		Histogram      *Histogram `json:"histogram"`
 	}{o.TotalCycles(), o.OccupiedCycles(), o.hist})
+}
+
+// UnmarshalJSON rebuilds the tracker from its MarshalJSON form. The
+// occupied/total summaries are re-derived from the histogram; the
+// integration cursor (last level/cycle) is not part of the document, so a
+// rehydrated tracker is read-only — exactly how every consumer treats a
+// finished run's tracker.
+func (o *OccupancyTracker) UnmarshalJSON(data []byte) error {
+	var doc struct {
+		Histogram *Histogram `json:"histogram"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	if doc.Histogram == nil {
+		return fmt.Errorf("stats: occupancy document has no histogram")
+	}
+	o.hist = doc.Histogram
+	o.lastLevel, o.lastCycle, o.started = 0, 0, false
+	return nil
 }
 
 // Figure7Thresholds are the x-axis points of the paper's Figure 7.

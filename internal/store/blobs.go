@@ -1,0 +1,47 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"srlproc/internal/core"
+)
+
+// renderBlobs renders the artifacts a result carries into named byte
+// blobs: the cycle-window timeline as plotting-ready CSV, the event trace
+// in Chrome trace format (opens in chrome://tracing and Perfetto), and any
+// oracle divergences as JSON. A plain result renders nothing.
+func renderBlobs(res *core.Results) (map[string][]byte, error) {
+	out := make(map[string][]byte)
+	if res.Timeline != nil {
+		var buf bytes.Buffer
+		if err := res.Timeline.WriteCSV(&buf); err != nil {
+			return nil, fmt.Errorf("store: render timeline blob: %w", err)
+		}
+		out["timeline.csv"] = buf.Bytes()
+	}
+	if res.Trace != nil {
+		var buf bytes.Buffer
+		if err := res.Trace.WriteChromeTrace(&buf, res.Timeline); err != nil {
+			return nil, fmt.Errorf("store: render trace blob: %w", err)
+		}
+		out["trace.chrome.json"] = buf.Bytes()
+	}
+	if len(res.Divergences) > 0 {
+		doc, err := json.Marshal(res.Divergences)
+		if err != nil {
+			return nil, fmt.Errorf("store: render divergence blob: %w", err)
+		}
+		out["divergences.json"] = doc
+	}
+	return out, nil
+}
+
+// hashHex returns the hex SHA-256 content address of data.
+func hashHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"srlproc/internal/core"
+)
+
+// MemStore is the in-memory ResultStore: the exact Get/Put/List semantics
+// of the durable tier — including the round-trip gate and artifacts-only
+// entries — without the filesystem. It backs tests, short-lived tools and
+// deployments that want two-tier semantics with no persistence.
+type MemStore struct {
+	mu      sync.Mutex
+	entries map[Key]Entry
+	docs    map[string][]byte // content hash → canonical Results document
+	blobs   map[string][]byte // content hash + name → artifact bytes
+	hits    uint64
+	misses  uint64
+	puts    uint64
+	deletes uint64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{
+		entries: make(map[Key]Entry),
+		docs:    make(map[string][]byte),
+		blobs:   make(map[string][]byte),
+	}
+}
+
+// Get implements ResultStore.
+func (s *MemStore) Get(key Key) (*core.Results, bool, error) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var doc []byte
+	if ok && e.Hydratable {
+		doc = s.docs[e.Hash]
+	}
+	if doc == nil {
+		s.misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	s.hits++
+	s.mu.Unlock()
+	res, err := Decode(doc)
+	if err != nil {
+		// Cannot happen for documents Encode accepted; treat like the
+		// disk tier's quarantine: drop the entry and report a miss.
+		s.mu.Lock()
+		delete(s.entries, key)
+		s.hits--
+		s.misses++
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	return res, true, nil
+}
+
+// Put implements ResultStore.
+func (s *MemStore) Put(key Key, res *core.Results) (Entry, error) {
+	doc, err := Encode(res)
+	if err != nil && !IsNotPersistable(err) {
+		return Entry{}, err
+	}
+	blobs, err := renderBlobs(res)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		Fingerprint: key.FingerprintHex(),
+		Stamp:       key.Stamp,
+		Suite:       res.Suite.String(),
+		Design:      res.Design.String(),
+		Hydratable:  doc != nil,
+		CreatedUnix: time.Now().Unix(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if doc != nil {
+		e.Hash = hashHex(doc)
+		e.Size = int64(len(doc))
+		s.docs[e.Hash] = doc
+	}
+	for name, data := range blobs {
+		h := hashHex(data)
+		s.blobs[h+"-"+name] = data
+		e.Blobs = append(e.Blobs, BlobRef{Name: name, Hash: h, Size: int64(len(data))})
+	}
+	sortBlobs(e.Blobs)
+	s.entries[key] = e
+	s.puts++
+	return e, nil
+}
+
+// Delete implements ResultStore. Content is shared between identical
+// documents, so only the key's entry is removed.
+func (s *MemStore) Delete(key Key) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[key]; ok {
+		delete(s.entries, key)
+		s.deletes++
+	}
+	return nil
+}
+
+// List implements ResultStore; entries sort by (stamp, fingerprint).
+func (s *MemStore) List() ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return out, nil
+}
+
+// Stats implements ResultStore.
+func (s *MemStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Entries: len(s.entries),
+		Hits:    s.hits,
+		Misses:  s.misses,
+		Puts:    s.puts,
+		Deletes: s.deletes,
+	}
+	for _, e := range s.entries {
+		if e.Hydratable {
+			st.Hydratable++
+		}
+	}
+	for _, doc := range s.docs {
+		st.ResultBytes += int64(len(doc))
+	}
+	for _, b := range s.blobs {
+		st.BlobBytes += int64(len(b))
+	}
+	return st
+}
+
+// Close implements ResultStore; it is a no-op for the in-memory tier.
+func (s *MemStore) Close() error { return nil }
+
+// IsNotPersistable reports whether err is the round-trip rejection
+// (ErrNotPersistable, possibly wrapped).
+func IsNotPersistable(err error) bool { return errors.Is(err, ErrNotPersistable) }
+
+func sortEntries(es []Entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Stamp != es[j].Stamp {
+			return es[i].Stamp < es[j].Stamp
+		}
+		return es[i].Fingerprint < es[j].Fingerprint
+	})
+}
+
+func sortBlobs(bs []BlobRef) {
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Name < bs[j].Name })
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"srlproc/internal/core"
+	"srlproc/internal/store"
 	"srlproc/internal/trace"
 )
 
@@ -41,6 +42,19 @@ type Cache struct {
 	hits       uint64
 	misses     uint64
 	evictions  uint64
+
+	// Persistent tier (see AttachStore in store.go). store is nil unless
+	// attached; stamp is the binary's code-version stamp folded into every
+	// store key; writeSem bounds asynchronous write-through goroutines and
+	// writeWG lets FlushStore wait for them.
+	store       store.ResultStore
+	stamp       string
+	writeSem    chan struct{}
+	writeWG     sync.WaitGroup
+	storeHits   uint64
+	storeMisses uint64
+	storePuts   uint64
+	storeErrors uint64
 }
 
 type cacheEntry struct {
@@ -89,6 +103,10 @@ var globalCache = NewCache()
 func Global() *Cache { return globalCache }
 
 // Stats is a point-in-time snapshot of a cache's counters and budget.
+// Hits and Misses count the in-memory memo tier only; the Store* fields
+// count the attached persistent tier (all zero — and elided from JSON —
+// when no store is attached, so storeless deployments see an unchanged
+// document).
 type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -99,6 +117,14 @@ type Stats struct {
 	Bytes      int64 `json:"bytes"`
 	MaxEntries int   `json:"max_entries,omitempty"`
 	MaxBytes   int64 `json:"max_bytes,omitempty"`
+
+	// Persistent-tier traffic from this cache: memo misses served by the
+	// store, memo misses the store also missed (simulated fresh), results
+	// written through, and store operations that returned errors.
+	StoreHits   uint64 `json:"store_hits,omitempty"`
+	StoreMisses uint64 `json:"store_misses,omitempty"`
+	StorePuts   uint64 `json:"store_puts,omitempty"`
+	StoreErrors uint64 `json:"store_errors,omitempty"`
 }
 
 // Stats returns a consistent snapshot of the cache's counters and budget.
@@ -106,13 +132,17 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
-		Entries:    len(c.m),
-		Bytes:      c.bytes,
-		MaxEntries: c.maxEntries,
-		MaxBytes:   c.maxBytes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Entries:     len(c.m),
+		Bytes:       c.bytes,
+		MaxEntries:  c.maxEntries,
+		MaxBytes:    c.maxBytes,
+		StoreHits:   c.storeHits,
+		StoreMisses: c.storeMisses,
+		StorePuts:   c.storePuts,
+		StoreErrors: c.storeErrors,
 	}
 }
 
@@ -172,19 +202,22 @@ func (c *Cache) Reset() {
 	c.lru = list.New()
 	c.bytes = 0
 	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.storeHits, c.storeMisses, c.storePuts, c.storeErrors = 0, 0, 0, 0
 }
 
 // do returns the memoized result for the point, computing it with fn on a
-// miss. hit reports whether the result came from the cache (including
-// waiting on another goroutine's in-flight computation). A ctx cancelled
-// while waiting returns ctx's error without disturbing the computation and
-// without counting a hit or a miss.
+// miss. hit reports whether the result came from the cache — the memo
+// tier, another goroutine's in-flight computation, or the attached
+// persistent store; only a fresh simulation reports hit=false, which is
+// what lets a warm restart replay a sweep with Report.Simulated == 0. A
+// ctx cancelled while waiting returns ctx's error without disturbing the
+// computation and without counting a hit or a miss.
 //
 // Accounting invariant (pinned by TestCachePoisonedRetryAccounting): every
-// do call that returns a result counts exactly one hit or one miss, even
-// on the failed-attempt retry path — a waiter that wakes on a failed
-// attempt loops, and either becomes the fresh computer (one miss) or waits
-// on a newer attempt (one hit on its success).
+// do call that returns a result counts exactly one memo hit, one store
+// hit, or one miss, even on the failed-attempt retry path — a waiter that
+// wakes on a failed attempt loops, and either becomes the fresh computer
+// (one miss) or waits on a newer attempt (one hit on its success).
 func (c *Cache) do(ctx context.Context, cfg core.Config, suite trace.Suite,
 	fn func() (*core.Results, error)) (res *core.Results, hit bool, err error) {
 	key := core.PointFingerprint(cfg, suite)
@@ -209,11 +242,27 @@ func (c *Cache) do(ctx context.Context, cfg core.Config, suite trace.Suite,
 				return nil, false, ctx.Err()
 			}
 		}
+		// Memo miss: insert the in-flight entry first (so duplicate
+		// requests collapse onto it even while the store is probed), then
+		// fall through to the persistent tier before paying for a
+		// simulation. Only a store miss counts as a cache miss.
 		e := &cacheEntry{key: key, ready: make(chan struct{})}
 		c.m[key] = e
+		st, stamp := c.store, c.stamp
+		c.mu.Unlock()
+		if st != nil {
+			if got, ok := c.storeGet(st, stamp, key); ok {
+				c.publishFromStore(key, e, got)
+				return got, true, nil
+			}
+		}
+		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
 		res, err = c.compute(key, e, fn)
+		if err == nil {
+			c.writeThrough(key, res)
+		}
 		return res, false, err
 	}
 }

@@ -25,12 +25,24 @@
 //	if err != nil { ... }
 //	fmt.Printf("IPC %.2f\n", res.IPC())
 //
-// To regenerate the paper's figures use the context-aware experiment
-// runners (RunFigure2Context, RunFigure6Context, RunTable3Context, ...) or
-// the cmd/experiments binary. Experiments execute on the internal sweep
-// engine: a bounded worker pool with cancellation, panic isolation,
-// progress reporting and cross-experiment result memoization, controlled
-// through Options (Workers, Progress, NoCache).
+// To regenerate the paper's figures use the unified experiment runner:
+//
+//	res, err := srlproc.RunExperiment(ctx, srlproc.Fig6, srlproc.QuickOptions())
+//	if err != nil { ... }
+//	fmt.Println(res)
+//
+// RunExperiment(ctx, id, opts) is the single entry point behind every
+// experiment of the evaluation; the per-experiment typed wrappers
+// (RunFigure2Context, RunTable3Context, ...) remain as thin shims over it.
+// Experiments execute on the internal sweep engine: a bounded worker pool
+// with cancellation, panic isolation, progress reporting and
+// cross-experiment result memoization, controlled through Options
+// (Workers, Progress, NoCache).
+//
+// Results can persist across processes: AttachResultStore points the
+// process-global memo cache at an on-disk, content-addressed result store,
+// after which identical experiment runs in a restarted process replay
+// entirely from durable state (zero simulations, byte-identical output).
 package srlproc
 
 import (
@@ -43,6 +55,7 @@ import (
 	"srlproc/internal/multicore"
 	"srlproc/internal/obs"
 	"srlproc/internal/oracle"
+	"srlproc/internal/store"
 	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
@@ -274,6 +287,42 @@ func SetSweepCacheBudget(maxEntries int, maxBytes int64) {
 // computations finish against the old generation and are not re-inserted.
 func ResetSweepCache() { sweep.Global().Reset() }
 
+// ResultStoreStats snapshots the persistent result store's contents and
+// counters (entries, hydratable entries, hits/misses/puts, quarantined
+// files). ok is false when no store is attached.
+type ResultStoreStats = store.Stats
+
+// AttachResultStore opens (creating if needed) an on-disk result store
+// rooted at dir and installs it as the persistent tier under the
+// process-global memo cache. From then on, memo misses fall through to
+// the store before simulating and completed results write through
+// asynchronously, so a restarted process replays identical experiments
+// with zero simulations and byte-identical output.
+//
+// Store keys include this binary's code-version stamp: a rebuilt binary
+// computes under a fresh stamp and never reads another build's results.
+// Call FlushResultStore before exiting to guarantee the final results
+// reached disk.
+func AttachResultStore(dir string) error {
+	st, err := store.OpenDisk(dir)
+	if err != nil {
+		return err
+	}
+	sweep.Global().AttachStore(st)
+	return nil
+}
+
+// FlushResultStore blocks until every completed result queued for
+// write-through has reached the attached store (no-op when none is
+// attached).
+func FlushResultStore() { sweep.Global().FlushStore() }
+
+// SweepStoreStats returns the attached persistent store's counters; ok is
+// false when AttachResultStore has not been called.
+func SweepStoreStats() (st ResultStoreStats, ok bool) {
+	return sweep.Global().StoreStats()
+}
+
 // DefaultOptions sizes experiments for a full reproduction run;
 // QuickOptions for fast sanity passes.
 func DefaultOptions() Options { return bench.DefaultOptions() }
@@ -291,6 +340,52 @@ type Table3Result = bench.Table3Result
 
 // Figure7Result is the SRL occupancy distribution (Figure 7).
 type Figure7Result = bench.Figure7Result
+
+// EnergyResult compares secondary load/store structure dynamic energy
+// attributed from simulated activity (the Energy experiment).
+type EnergyResult = bench.EnergyResult
+
+// LatencyResult holds the per-design IPC-vs-memory-latency tolerance
+// curves (the Latency experiment).
+type LatencyResult = bench.LatencyResult
+
+// ExperimentID names one experiment of the paper's evaluation; it is the
+// vocabulary RunExperiment, cmd/experiments and the HTTP service share.
+type ExperimentID = bench.ExperimentID
+
+// The experiments, in the evaluation's presentation order.
+const (
+	Fig2    = bench.Fig2
+	Fig6    = bench.Fig6
+	Fig7    = bench.Fig7
+	Fig8    = bench.Fig8
+	Fig9    = bench.Fig9
+	Fig10   = bench.Fig10
+	Table3  = bench.Table3
+	Energy  = bench.Energy
+	Latency = bench.Latency
+)
+
+// ExperimentResult is RunExperiment's tagged result: ID says which
+// experiment ran, exactly one typed field is non-nil, Value returns it
+// untyped, and the JSON form is the inner result document itself.
+type ExperimentResult = bench.ExperimentResult
+
+// AllExperiments lists every experiment in presentation order.
+func AllExperiments() []ExperimentID { return bench.AllExperiments() }
+
+// ParseExperimentID resolves an experiment name ("fig2" ... "table3",
+// "energy", "latency", or "figure2"-style long aliases) case-insensitively.
+func ParseExperimentID(name string) (ExperimentID, error) {
+	return bench.ParseExperimentID(name)
+}
+
+// RunExperiment runs one experiment of the paper's evaluation — the
+// unified entry point behind every per-experiment wrapper. The Latency
+// experiment picks its suite from Options.LatencySuite (zero value SFP2K).
+func RunExperiment(ctx context.Context, id ExperimentID, o Options) (*ExperimentResult, error) {
+	return bench.RunExperiment(ctx, id, o)
+}
 
 // RunFigure2Context reproduces Figure 2: percent speedup of single-level
 // store queues of 128..1K entries over the 48-entry baseline, per suite.

@@ -2,6 +2,7 @@ package srlproc
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -192,5 +193,77 @@ func TestSweepCacheFacade(t *testing.T) {
 	st = SweepCacheStats()
 	if st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 || st.Evictions != 0 {
 		t.Fatalf("Reset left state behind: %+v", st)
+	}
+}
+
+// TestUnifiedExperimentRunner drives RunExperiment through the facade:
+// name parsing, the tagged result, and agreement with the typed shim.
+func TestUnifiedExperimentRunner(t *testing.T) {
+	id, err := ParseExperimentID("figure10")
+	if err != nil || id != Fig10 {
+		t.Fatalf("ParseExperimentID: %v %v", id, err)
+	}
+	o := QuickOptions()
+	o.WarmupUops, o.RunUops = 1_000, 6_000
+	res, err := RunExperiment(context.Background(), id, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != Fig10 || res.Figure == nil || len(res.Figure.Series) != 2 {
+		t.Fatalf("tagged result wrong: %+v", res)
+	}
+	if len(AllExperiments()) != 9 {
+		t.Fatalf("AllExperiments lists %d experiments", len(AllExperiments()))
+	}
+}
+
+// TestResultStoreFacadeWarmRestart is the library-level warm-restart
+// round trip: attach a disk store, run an experiment, simulate a process
+// restart (fresh memo cache, re-attached store), and require the repeat
+// run to be served entirely from durable state with byte-identical output.
+func TestResultStoreFacadeWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	defer func() {
+		FlushResultStore()
+		sweep.Global().AttachStore(nil)
+		ResetSweepCache()
+	}()
+	ResetSweepCache()
+	if err := AttachResultStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	o := QuickOptions()
+	o.WarmupUops, o.RunUops = 500, 2_500
+	r1, err := RunExperiment(context.Background(), Fig10, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FlushResultStore()
+	st, ok := SweepStoreStats()
+	if !ok || st.Puts == 0 {
+		t.Fatalf("store stats after cold run: ok=%v %+v", ok, st)
+	}
+
+	ResetSweepCache() // drop the memo tier: what a process restart does
+	if err := AttachResultStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunExperiment(context.Background(), Fig10, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := SweepCacheStats(); cs.Misses != 0 || cs.StoreHits == 0 {
+		t.Fatalf("warm run simulated fresh points: %+v", cs)
+	}
+	d1, err := json.Marshal(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Fatal("warm-restart experiment output is not byte-identical")
 	}
 }
