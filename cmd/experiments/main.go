@@ -85,6 +85,21 @@ func run() int {
 		}
 		*only = fmt.Sprintf("fig%d", *figure)
 	}
+	// Selections resolve through bench.ParseExperimentID, so the
+	// "figure2"-style aliases work and a typo'd or unknown name fails
+	// loudly instead of silently running nothing. table1/table2/power are
+	// rendered sections, not sweepable experiments, and stay CLI-only.
+	if *only != "" {
+		switch *only {
+		case "table1", "table2", "power":
+		default:
+			id, err := bench.ParseExperimentID(*only)
+			if err != nil {
+				return usage("%v (or a CLI-only section: table1, table2, power)", err)
+			}
+			*only = id.String()
+		}
+	}
 	if *jsonOut && *csvOut {
 		return usage("use -json or -csv, not both")
 	}

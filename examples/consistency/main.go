@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ import (
 func run(cfg srlproc.Config) *srlproc.Results {
 	cfg.RunUops = 120_000
 	cfg.WarmupUops = 20_000
-	res, err := srlproc.Run(cfg, srlproc.SERVER)
+	res, err := srlproc.RunContext(context.Background(), cfg, srlproc.SERVER)
 	if err != nil {
 		log.Fatal(err)
 	}

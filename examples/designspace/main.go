@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ const (
 func run(cfg srlproc.Config, suite srlproc.Suite) *srlproc.Results {
 	cfg.RunUops = runUops
 	cfg.WarmupUops = warmup
-	res, err := srlproc.Run(cfg, suite)
+	res, err := srlproc.RunContext(context.Background(), cfg, suite)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -25,7 +26,7 @@ func main() {
 	cfg.WarmupUops = 30_000
 	cfg.Obs = srlproc.DefaultObsConfig() // 4096-cycle windows + event trace
 
-	res, err := srlproc.Run(cfg, srlproc.SFP2K)
+	res, err := srlproc.RunContext(context.Background(), cfg, srlproc.SFP2K)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,7 @@ func main() {
 	// The proposed design: Store Redo Log + LCF + forwarding cache.
 	srlCfg := srlproc.DefaultConfig(srlproc.DesignSRL)
 	srlCfg.RunUops = 150_000
-	srlRes, err := srlproc.Run(srlCfg, suite)
+	srlRes, err := srlproc.RunContext(context.Background(), srlCfg, suite)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func main() {
 	// The baseline every figure in the paper normalises to.
 	baseCfg := srlproc.DefaultConfig(srlproc.DesignBaseline)
 	baseCfg.RunUops = 150_000
-	baseRes, err := srlproc.Run(baseCfg, suite)
+	baseRes, err := srlproc.RunContext(context.Background(), baseCfg, suite)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	cfg := srlproc.DefaultConfig(srlproc.DesignSRL)
 	cfg.WarmupUops = 20_000
 	cfg.RunUops = 120_000
-	res, err := srlproc.RunFromSource(cfg, reader, srlproc.WS)
+	res, err := srlproc.RunFromSourceContext(context.Background(), cfg, reader, srlproc.WS)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 		res.IPC(), res.PctRedoneStores(), res.PctTimeSRLOccupied())
 
 	// 3. The replay is bit-identical to running the generator directly.
-	direct, err := srlproc.Run(func() srlproc.Config {
+	direct, err := srlproc.RunContext(context.Background(), func() srlproc.Config {
 		c := cfg
 		c.Seed = 42
 		return c

@@ -120,11 +120,19 @@ func (o Options) sweepOptions() sweep.Options {
 	return sweep.Options{Workers: o.Workers, Progress: o.Progress, NoCache: o.NoCache, Cache: o.Cache}
 }
 
-// runMatrix runs one configuration per label across all suites on the
-// sweep engine, returning results[label][suite]. Point errors — including
-// cancellation — are collected with errors.Join, not truncated to the
-// first failure.
-func runMatrix(ctx context.Context, o Options, cfgs map[string]core.Config) (map[string]map[trace.Suite]*core.Results, error) {
+// labeledConfig pairs one figure-series label with its configuration.
+type labeledConfig struct {
+	Label string
+	Cfg   core.Config
+}
+
+// matrixPoints enumerates one configuration per label across all suites in
+// sorted label order — the canonical point order of every matrix-shaped
+// experiment. The same enumeration runs on a standalone process, on a
+// cluster coordinator (which shards the list by point fingerprint) and on
+// every worker (which re-derives it to resolve job indexes), so it must be
+// deterministic in (cfgs, suites) alone.
+func matrixPoints(cfgs map[string]core.Config) []sweep.Point {
 	labels := make([]string, 0, len(cfgs))
 	for label := range cfgs {
 		labels = append(labels, label)
@@ -136,19 +144,35 @@ func runMatrix(ctx context.Context, o Options, cfgs map[string]core.Config) (map
 			points = append(points, sweep.Point{Label: label, Cfg: cfgs[label], Suite: s})
 		}
 	}
-	rep, err := sweep.Run(ctx, points, o.sweepOptions())
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[string]map[trace.Suite]*core.Results, len(cfgs))
-	for label := range cfgs {
-		out[label] = make(map[trace.Suite]*core.Results)
-	}
+	return points
+}
+
+// matrixRaw reassembles results[label][suite] from a completed matrix
+// report. Every point must carry results: a report with failed or missing
+// points cannot be aggregated into a figure.
+func matrixRaw(rep *sweep.Report) (map[string]map[trace.Suite]*core.Results, error) {
+	out := make(map[string]map[trace.Suite]*core.Results)
 	for i := range rep.Points {
 		pr := &rep.Points[i]
-		out[pr.Point.Label][pr.Point.Suite] = pr.Results
+		if pr.Results == nil {
+			return nil, pointError(pr)
+		}
+		m := out[pr.Point.Label]
+		if m == nil {
+			m = make(map[trace.Suite]*core.Results)
+			out[pr.Point.Label] = m
+		}
+		m[pr.Point.Suite] = pr.Results
 	}
 	return out, nil
+}
+
+// pointError describes a point that finished without results.
+func pointError(pr *sweep.PointResult) error {
+	if pr.Err != nil {
+		return fmt.Errorf("bench: point %s: %w", pr.Point, pr.Err)
+	}
+	return fmt.Errorf("bench: point %s has no results", pr.Point)
 }
 
 // SpeedupSeries is one figure series: percent speedup over baseline per
@@ -183,29 +207,31 @@ func (f *FigureResult) String() string {
 	return t.String()
 }
 
-// speedupFigure computes percent speedups of each labelled config over the
-// baseline config, per suite.
-func speedupFigure(ctx context.Context, o Options, title string, baseline core.Config, labeled []struct {
-	Label string
-	Cfg   core.Config
-}) (*FigureResult, error) {
+// speedupPlan decomposes a percent-speedup figure (each labelled config
+// over the baseline config, per suite) into its point list and assembly.
+func speedupPlan(id ExperimentID, o Options, title string, baseline core.Config, labeled []labeledConfig) *plan {
 	cfgs := map[string]core.Config{"__base__": o.apply(baseline)}
 	for _, lc := range labeled {
 		cfgs[lc.Label] = o.apply(lc.Cfg)
 	}
-	raw, err := runMatrix(ctx, o, cfgs)
-	if err != nil {
-		return nil, err
+	return &plan{
+		points: matrixPoints(cfgs),
+		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
+			raw, err := matrixRaw(rep)
+			if err != nil {
+				return nil, err
+			}
+			fig := &FigureResult{Title: title, Raw: raw}
+			for _, lc := range labeled {
+				s := SpeedupSeries{Label: lc.Label, BySuite: make(map[trace.Suite]float64)}
+				for _, su := range trace.AllSuites() {
+					s.BySuite[su] = raw[lc.Label][su].SpeedupOver(raw["__base__"][su])
+				}
+				fig.Series = append(fig.Series, s)
+			}
+			return &ExperimentResult{ID: id, Figure: fig}, nil
+		},
 	}
-	fig := &FigureResult{Title: title, Raw: raw}
-	for _, lc := range labeled {
-		s := SpeedupSeries{Label: lc.Label, BySuite: make(map[trace.Suite]float64)}
-		for _, su := range trace.AllSuites() {
-			s.BySuite[su] = raw[lc.Label][su].SpeedupOver(raw["__base__"][su])
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
 }
 
 // --- Figure 2: store queue size sweep ---
@@ -226,6 +252,9 @@ func RunFigure2(o Options) (*FigureResult, error) {
 // RunFigure2Context reproduces Figure 2: percent speedup of single-level
 // store queues of 128..1K entries over the 48-entry baseline, per suite.
 // It is a typed shim over RunExperiment(ctx, Fig2, o).
+//
+// Deprecated: call RunExperiment(ctx, Fig2, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
 	r, err := RunExperiment(ctx, Fig2, o)
 	if err != nil {
@@ -234,12 +263,9 @@ func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return r.Figure, nil
 }
 
-func runFigure2(ctx context.Context, o Options) (*FigureResult, error) {
+func planFigure2(o Options) *plan {
 	base := core.DefaultConfig(core.DesignBaseline)
-	var labeled []struct {
-		Label string
-		Cfg   core.Config
-	}
+	var labeled []labeledConfig
 	for _, size := range Figure2Sizes {
 		cfg := core.DefaultConfig(core.DesignLargeSTQ)
 		cfg.STQSize = size
@@ -247,12 +273,9 @@ func runFigure2(ctx context.Context, o Options) (*FigureResult, error) {
 		if size == 1024 {
 			label = "1K-entry STQ"
 		}
-		labeled = append(labeled, struct {
-			Label string
-			Cfg   core.Config
-		}{label, cfg})
+		labeled = append(labeled, labeledConfig{label, cfg})
 	}
-	return speedupFigure(ctx, o, "Figure 2: impact of store queue size (percent speedup over 48-entry STQ)", base, labeled)
+	return speedupPlan(Fig2, o, "Figure 2: impact of store queue size (percent speedup over 48-entry STQ)", base, labeled)
 }
 
 // --- Figure 6: SRL vs hierarchical vs ideal ---
@@ -269,6 +292,9 @@ func RunFigure6(o Options) (*FigureResult, error) {
 // RunFigure6Context reproduces Figure 6: SRL vs the hierarchical store
 // queue vs an ideal (1K-entry, fast) store queue, as percent speedup over
 // the baseline. It is a typed shim over RunExperiment(ctx, Fig6, o).
+//
+// Deprecated: call RunExperiment(ctx, Fig6, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunFigure6Context(ctx context.Context, o Options) (*FigureResult, error) {
 	r, err := RunExperiment(ctx, Fig6, o)
 	if err != nil {
@@ -277,17 +303,14 @@ func RunFigure6Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return r.Figure, nil
 }
 
-func runFigure6(ctx context.Context, o Options) (*FigureResult, error) {
+func planFigure6(o Options) *plan {
 	base := core.DefaultConfig(core.DesignBaseline)
 	srl := core.DefaultConfig(core.DesignSRL)
 	hier := core.DefaultConfig(core.DesignHierarchical)
 	ideal := core.DefaultConfig(core.DesignLargeSTQ)
 	ideal.STQSize = 1024
-	return speedupFigure(ctx, o, "Figure 6: SRL performance comparison (percent speedup over baseline)", base,
-		[]struct {
-			Label string
-			Cfg   core.Config
-		}{
+	return speedupPlan(Fig6, o, "Figure 6: SRL performance comparison (percent speedup over baseline)", base,
+		[]labeledConfig{
 			{"SRL", srl},
 			{"Hierarchical STQ", hier},
 			{"Ideal STQ", ideal},
@@ -334,6 +357,9 @@ func RunTable3(o Options) (*Table3Result, error) {
 
 // RunTable3Context reproduces Table 3 on the SRL configuration. It is a
 // typed shim over RunExperiment(ctx, Table3, o).
+//
+// Deprecated: call RunExperiment(ctx, Table3, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
 	r, err := RunExperiment(ctx, Table3, o)
 	if err != nil {
@@ -342,25 +368,30 @@ func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
 	return r.Table3, nil
 }
 
-func runTable3(ctx context.Context, o Options) (*Table3Result, error) {
+func planTable3(o Options) *plan {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
-	raw, err := runMatrix(ctx, o, cfgs)
-	if err != nil {
-		return nil, err
+	return &plan{
+		points: matrixPoints(cfgs),
+		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
+			raw, err := matrixRaw(rep)
+			if err != nil {
+				return nil, err
+			}
+			out := &Table3Result{Raw: raw["srl"]}
+			for _, su := range trace.AllSuites() {
+				r := raw["srl"][su]
+				out.Rows = append(out.Rows, Table3Row{
+					Suite:               su,
+					RedoneStoresPct:     r.PctRedoneStores(),
+					MissDepStoresPct:    r.PctMissDependentStores(),
+					MissDepUopsPct:      r.PctMissDependentUops(),
+					SRLLoadStallsPer10K: r.SRLStallsPer10K(),
+					PctTimeSRLOccupied:  r.PctTimeSRLOccupied(),
+				})
+			}
+			return &ExperimentResult{ID: Table3, Table3: out}, nil
+		},
 	}
-	out := &Table3Result{Raw: raw["srl"]}
-	for _, su := range trace.AllSuites() {
-		r := raw["srl"][su]
-		out.Rows = append(out.Rows, Table3Row{
-			Suite:               su,
-			RedoneStoresPct:     r.PctRedoneStores(),
-			MissDepStoresPct:    r.PctMissDependentStores(),
-			MissDepUopsPct:      r.PctMissDependentUops(),
-			SRLLoadStallsPer10K: r.SRLStallsPer10K(),
-			PctTimeSRLOccupied:  r.PctTimeSRLOccupied(),
-		})
-	}
-	return out, nil
 }
 
 // --- Figure 7: SRL occupancy distribution ---
@@ -403,6 +434,9 @@ func RunFigure7(o Options) (*Figure7Result, error) {
 
 // RunFigure7Context reproduces Figure 7 from the SRL configuration's
 // occupancy tracker. It is a typed shim over RunExperiment(ctx, Fig7, o).
+//
+// Deprecated: call RunExperiment(ctx, Fig7, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 	r, err := RunExperiment(ctx, Fig7, o)
 	if err != nil {
@@ -411,22 +445,27 @@ func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 	return r.Figure7, nil
 }
 
-func runFigure7(ctx context.Context, o Options) (*Figure7Result, error) {
+func planFigure7(o Options) *plan {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
-	raw, err := runMatrix(ctx, o, cfgs)
-	if err != nil {
-		return nil, err
+	return &plan{
+		points: matrixPoints(cfgs),
+		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
+			raw, err := matrixRaw(rep)
+			if err != nil {
+				return nil, err
+			}
+			out := &Figure7Result{Thresholds: stats.Figure7Thresholds, BySuite: make(map[trace.Suite][]float64), Raw: raw["srl"]}
+			for _, su := range trace.AllSuites() {
+				occ := raw["srl"][su].SRLOccupancy
+				var vals []float64
+				for _, th := range out.Thresholds {
+					vals = append(vals, 100*occ.FracOccupiedAbove(th))
+				}
+				out.BySuite[su] = vals
+			}
+			return &ExperimentResult{ID: Fig7, Figure7: out}, nil
+		},
 	}
-	out := &Figure7Result{Thresholds: stats.Figure7Thresholds, BySuite: make(map[trace.Suite][]float64), Raw: raw["srl"]}
-	for _, su := range trace.AllSuites() {
-		occ := raw["srl"][su].SRLOccupancy
-		var vals []float64
-		for _, th := range out.Thresholds {
-			vals = append(vals, 100*occ.FracOccupiedAbove(th))
-		}
-		out.BySuite[su] = vals
-	}
-	return out, nil
 }
 
 // --- Figure 8: LCF and indexed forwarding ablation ---
@@ -443,6 +482,9 @@ func RunFigure8(o Options) (*FigureResult, error) {
 // RunFigure8Context reproduces Figure 8: SRL, SRL without indexed
 // forwarding, and SRL without the LCF and indexed forwarding, over the
 // baseline. It is a typed shim over RunExperiment(ctx, Fig8, o).
+//
+// Deprecated: call RunExperiment(ctx, Fig8, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
 	r, err := RunExperiment(ctx, Fig8, o)
 	if err != nil {
@@ -451,7 +493,7 @@ func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return r.Figure, nil
 }
 
-func runFigure8(ctx context.Context, o Options) (*FigureResult, error) {
+func planFigure8(o Options) *plan {
 	base := core.DefaultConfig(core.DesignBaseline)
 	full := core.DefaultConfig(core.DesignSRL)
 	noIF := core.DefaultConfig(core.DesignSRL)
@@ -459,11 +501,8 @@ func runFigure8(ctx context.Context, o Options) (*FigureResult, error) {
 	noLCF := core.DefaultConfig(core.DesignSRL)
 	noLCF.UseIndexedFwd = false
 	noLCF.UseLCF = false
-	return speedupFigure(ctx, o, "Figure 8: impact of LCF and indexed forwarding (percent speedup over baseline)", base,
-		[]struct {
-			Label string
-			Cfg   core.Config
-		}{
+	return speedupPlan(Fig8, o, "Figure 8: impact of LCF and indexed forwarding (percent speedup over baseline)", base,
+		[]labeledConfig{
 			{"SRL", full},
 			{"SRL w/o indexed fwd", noIF},
 			{"SRL w/o LCF+IF", noLCF},
@@ -484,6 +523,9 @@ func RunFigure9(o Options) (*FigureResult, error) {
 // RunFigure9Context reproduces Figure 9: LCF sizes 256/2K crossed with LAB
 // and 3-PAX hashing, plus a no-LCF reference, over the baseline. It is a
 // typed shim over RunExperiment(ctx, Fig9, o).
+//
+// Deprecated: call RunExperiment(ctx, Fig9, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
 	r, err := RunExperiment(ctx, Fig9, o)
 	if err != nil {
@@ -492,7 +534,7 @@ func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return r.Figure, nil
 }
 
-func runFigure9(ctx context.Context, o Options) (*FigureResult, error) {
+func planFigure9(o Options) *plan {
 	base := core.DefaultConfig(core.DesignBaseline)
 	mk := func(size int, hash lsq.HashKind) core.Config {
 		cfg := core.DefaultConfig(core.DesignSRL)
@@ -503,11 +545,8 @@ func runFigure9(ctx context.Context, o Options) (*FigureResult, error) {
 	noLCF := core.DefaultConfig(core.DesignSRL)
 	noLCF.UseLCF = false
 	noLCF.UseIndexedFwd = false
-	return speedupFigure(ctx, o, "Figure 9: LCF size and hashing function impact (percent speedup over baseline)", base,
-		[]struct {
-			Label string
-			Cfg   core.Config
-		}{
+	return speedupPlan(Fig9, o, "Figure 9: LCF size and hashing function impact (percent speedup over baseline)", base,
+		[]labeledConfig{
 			{"No LCF", noLCF},
 			{"LCF256 + LAB", mk(256, lsq.HashLAB)},
 			{"LCF2K + LAB", mk(2048, lsq.HashLAB)},
@@ -530,6 +569,9 @@ func RunFigure10(o Options) (*FigureResult, error) {
 // RunFigure10Context reproduces Figure 10: SRL with the separate
 // forwarding cache vs using the data cache for temporary updates, over the
 // baseline. It is a typed shim over RunExperiment(ctx, Fig10, o).
+//
+// Deprecated: call RunExperiment(ctx, Fig10, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunFigure10Context(ctx context.Context, o Options) (*FigureResult, error) {
 	r, err := RunExperiment(ctx, Fig10, o)
 	if err != nil {
@@ -538,16 +580,13 @@ func RunFigure10Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return r.Figure, nil
 }
 
-func runFigure10(ctx context.Context, o Options) (*FigureResult, error) {
+func planFigure10(o Options) *plan {
 	base := core.DefaultConfig(core.DesignBaseline)
 	fc := core.DefaultConfig(core.DesignSRL)
 	dc := core.DefaultConfig(core.DesignSRL)
 	dc.UseFC = false
-	return speedupFigure(ctx, o, "Figure 10: forwarding design option impact (percent speedup over baseline)", base,
-		[]struct {
-			Label string
-			Cfg   core.Config
-		}{
+	return speedupPlan(Fig10, o, "Figure 10: forwarding design option impact (percent speedup over baseline)", base,
+		[]labeledConfig{
 			{"Separate forwarding cache", fc},
 			{"Data cache for forwarding", dc},
 		})
@@ -642,6 +681,9 @@ func RunEnergy(o Options) (*EnergyResult, error) {
 // RunEnergyContext runs the hierarchical and SRL designs across all suites
 // and attributes dynamic energy to their structure activity. It is a typed
 // shim over RunExperiment(ctx, Energy, o).
+//
+// Deprecated: call RunExperiment(ctx, Energy, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunEnergyContext(ctx context.Context, o Options) (*EnergyResult, error) {
 	r, err := RunExperiment(ctx, Energy, o)
 	if err != nil {
@@ -650,10 +692,10 @@ func RunEnergyContext(ctx context.Context, o Options) (*EnergyResult, error) {
 	return r.Energy, nil
 }
 
-// runEnergy quantifies the paper's argument from the simulation itself:
+// planEnergy quantifies the paper's argument from the simulation itself:
 // the hierarchical design's energy is dominated by CAM comparator
 // activations that the SRL design simply never performs.
-func runEnergy(ctx context.Context, o Options) (*EnergyResult, error) {
+func planEnergy(o Options) *plan {
 	filtered := core.DefaultConfig(core.DesignFilteredSTQ)
 	filtered.STQSize = 1024
 	cfgs := map[string]core.Config{
@@ -661,32 +703,37 @@ func runEnergy(ctx context.Context, o Options) (*EnergyResult, error) {
 		"filtered": o.apply(filtered),
 		"srl":      o.apply(core.DefaultConfig(core.DesignSRL)),
 	}
-	raw, err := runMatrix(ctx, o, cfgs)
-	if err != nil {
-		return nil, err
-	}
-	out := &EnergyResult{}
-	for _, label := range []string{"hier", "filtered", "srl"} {
-		for _, su := range trace.AllSuites() {
-			r := raw[label][su]
-			a := power.ActivityEnergy{
-				CamEntryOps: r.CamEntryOps,
-				SRLReads:    r.SRLReads,
-				SRLWrites:   r.SRLWrites,
-				LCFProbes:   r.LCFProbes,
-				FCLookups:   r.FCLookups,
-				MTBProbes:   r.MTBProbes,
-				LBEntryCmps: r.LBEntryCmps,
+	return &plan{
+		points: matrixPoints(cfgs),
+		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
+			raw, err := matrixRaw(rep)
+			if err != nil {
+				return nil, err
 			}
-			out.Rows = append(out.Rows, EnergyRow{
-				Design:      raw[label][su].Design,
-				Suite:       su,
-				NJPer1KUops: a.TotalPJ() / 1000 / (float64(r.Uops) / 1000),
-				CAMSharePct: a.CAMSharePct(),
-			})
-		}
+			out := &EnergyResult{}
+			for _, label := range []string{"hier", "filtered", "srl"} {
+				for _, su := range trace.AllSuites() {
+					r := raw[label][su]
+					a := power.ActivityEnergy{
+						CamEntryOps: r.CamEntryOps,
+						SRLReads:    r.SRLReads,
+						SRLWrites:   r.SRLWrites,
+						LCFProbes:   r.LCFProbes,
+						FCLookups:   r.FCLookups,
+						MTBProbes:   r.MTBProbes,
+						LBEntryCmps: r.LBEntryCmps,
+					}
+					out.Rows = append(out.Rows, EnergyRow{
+						Design:      raw[label][su].Design,
+						Suite:       su,
+						NJPer1KUops: a.TotalPJ() / 1000 / (float64(r.Uops) / 1000),
+						CAMSharePct: a.CAMSharePct(),
+					})
+				}
+			}
+			return &ExperimentResult{ID: Energy, Energy: out}, nil
+		},
 	}
-	return out, nil
 }
 
 // --- Latency tolerance sweep (the paper's framing, quantified) ---
@@ -756,6 +803,9 @@ func RunLatencySweep(o Options, suite trace.Suite) (*LatencyResult, error) {
 // RunLatencySweepContext runs the latency tolerance sweep on one suite.
 // It is a typed shim over RunExperiment(ctx, Latency, o) with
 // Options.LatencySuite set to suite.
+//
+// Deprecated: call RunExperiment(ctx, Latency, o) directly and read the
+// typed payload off the ExperimentResult.
 func RunLatencySweepContext(ctx context.Context, o Options, suite trace.Suite) (*LatencyResult, error) {
 	o.LatencySuite = suite
 	r, err := RunExperiment(ctx, Latency, o)
@@ -765,12 +815,12 @@ func RunLatencySweepContext(ctx context.Context, o Options, suite trace.Suite) (
 	return r.Latency, nil
 }
 
-// runLatencySweep measures how each design's throughput degrades as
+// planLatencySweep measures how each design's throughput degrades as
 // memory latency grows — the latency tolerance the paper's title claims.
 // The baseline's small store queue caps its in-flight window, so its IPC
 // decays faster with latency than the SRL's (whose secondary buffering
 // scales the window with the miss).
-func runLatencySweep(ctx context.Context, o Options, suite trace.Suite) (*LatencyResult, error) {
+func planLatencySweep(o Options, suite trace.Suite) *plan {
 	type pointID struct {
 		d   core.StoreDesign
 		lat uint64
@@ -789,17 +839,22 @@ func runLatencySweep(ctx context.Context, o Options, suite trace.Suite) (*Latenc
 			})
 		}
 	}
-	rep, err := sweep.Run(ctx, points, o.sweepOptions())
-	if err != nil {
-		return nil, err
+	return &plan{
+		points: points,
+		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
+			out := &LatencyResult{Suite: suite}
+			for i, id := range ids {
+				pr := &rep.Points[i]
+				if pr.Results == nil {
+					return nil, pointError(pr)
+				}
+				out.Points = append(out.Points, LatencyPoint{
+					Design:     id.d,
+					MemLatency: id.lat,
+					IPC:        pr.Results.IPC(),
+				})
+			}
+			return &ExperimentResult{ID: Latency, Latency: out}, nil
+		},
 	}
-	out := &LatencyResult{Suite: suite}
-	for i, id := range ids {
-		out.Points = append(out.Points, LatencyPoint{
-			Design:     id.d,
-			MemLatency: id.lat,
-			IPC:        rep.Points[i].Results.IPC(),
-		})
-	}
-	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 
+	"srlproc/internal/sweep"
 	"srlproc/internal/trace"
 )
 
@@ -54,6 +55,42 @@ var experimentNames = [numExperiments]string{
 	Table3:  "table3",
 	Energy:  "energy",
 	Latency: "latency",
+}
+
+// experimentDescriptions are one-line summaries surfaced by the
+// discoverability endpoints (GET /v1/experiments, CLI usage errors).
+var experimentDescriptions = [numExperiments]string{
+	Fig2:    "store queue size sweep: 128..1K-entry STQs over the 48-entry baseline",
+	Fig6:    "SRL vs hierarchical vs ideal store queue (percent speedup over baseline)",
+	Fig7:    "SRL occupancy distribution over the paper's thresholds",
+	Fig8:    "LCF and indexed-forwarding ablation",
+	Fig9:    "LCF size crossed with LAB and 3-PAX hashing",
+	Fig10:   "separate forwarding cache vs data-cache forwarding",
+	Table3:  "SRL statistics per suite",
+	Energy:  "dynamic energy attributed to secondary-structure activity",
+	Latency: "IPC vs memory latency per design (suite: Options.LatencySuite, default SFP2K)",
+}
+
+// Description returns the experiment's one-line summary.
+func (id ExperimentID) Description() string {
+	if id.Valid() {
+		return experimentDescriptions[id]
+	}
+	return ""
+}
+
+// Aliases returns the alternate names ParseExperimentID accepts for this
+// experiment beyond the canonical one ("figure2" for "fig2"); nil when
+// the canonical name is the only spelling.
+func (id ExperimentID) Aliases() []string {
+	if !id.Valid() {
+		return nil
+	}
+	canon := experimentNames[id]
+	if strings.HasPrefix(canon, "fig") {
+		return []string{"figure" + strings.TrimPrefix(canon, "fig")}
+	}
+	return nil
 }
 
 // AllExperiments lists every experiment in presentation order.
@@ -164,40 +201,93 @@ func (r *ExperimentResult) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.Value())
 }
 
+// plan is one experiment's decomposition: the canonical simulation point
+// list and the assembly that turns a completed report over exactly those
+// points into the experiment's result document. The split is what makes
+// experiments distributable — a coordinator enumerates the same points,
+// shards them across workers by fingerprint, merges the partial reports
+// and assembles the identical document.
+type plan struct {
+	points   []sweep.Point
+	assemble func(*sweep.Report) (*ExperimentResult, error)
+}
+
+// experimentPlan builds the plan for one experiment under the given
+// options. It is deterministic: every process of a cluster derives the
+// same point list (and therefore the same point fingerprints) from the
+// same (id, Options) pair.
+func experimentPlan(id ExperimentID, o Options) (*plan, error) {
+	switch id {
+	case Fig2:
+		return planFigure2(o), nil
+	case Fig6:
+		return planFigure6(o), nil
+	case Fig7:
+		return planFigure7(o), nil
+	case Fig8:
+		return planFigure8(o), nil
+	case Fig9:
+		return planFigure9(o), nil
+	case Fig10:
+		return planFigure10(o), nil
+	case Table3:
+		return planTable3(o), nil
+	case Energy:
+		return planEnergy(o), nil
+	case Latency:
+		return planLatencySweep(o, o.LatencySuite), nil
+	}
+	return nil, fmt.Errorf("bench: invalid experiment id %d", int(id))
+}
+
+// ExperimentPoints returns the experiment's canonical simulation point
+// list under the given options, in the exact order AssembleExperiment
+// expects a report's points. Index i of this list is the job identity the
+// cluster protocol ships between coordinator and workers: both sides
+// re-derive the list from (id, Options) and agree on every index and
+// fingerprint without ever serializing a core.Config.
+func ExperimentPoints(id ExperimentID, o Options) ([]sweep.Point, error) {
+	p, err := experimentPlan(id, o)
+	if err != nil {
+		return nil, err
+	}
+	return p.points, nil
+}
+
+// AssembleExperiment aggregates a completed report over exactly the
+// ExperimentPoints list — same points, same order — into the experiment's
+// result document. The report may come from one sweep.Run or from
+// sweep.MergeReports over per-shard partial reports: the simulator is
+// deterministic in its config, so both assemble to byte-identical JSON.
+// Every point must carry results; failed or missing points are an error.
+func AssembleExperiment(id ExperimentID, o Options, rep *sweep.Report) (*ExperimentResult, error) {
+	p, err := experimentPlan(id, o)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Points) != len(p.points) {
+		return nil, fmt.Errorf("bench: %s report has %d points, want %d", id, len(rep.Points), len(p.points))
+	}
+	return p.assemble(rep)
+}
+
 // RunExperiment runs one experiment of the paper's evaluation. It is the
 // unified entry point behind every per-experiment Run* function: resolve
 // an ExperimentID (ParseExperimentID for wire names), pick Options, and
 // the returned ExperimentResult carries the same document the dedicated
-// entry point would have produced.
+// entry point would have produced. It is exactly ExperimentPoints →
+// sweep.Run → AssembleExperiment, which is also the decomposition the
+// cluster coordinator distributes across workers.
 func RunExperiment(ctx context.Context, id ExperimentID, o Options) (*ExperimentResult, error) {
-	out := &ExperimentResult{ID: id}
-	var err error
-	switch id {
-	case Fig2:
-		out.Figure, err = runFigure2(ctx, o)
-	case Fig6:
-		out.Figure, err = runFigure6(ctx, o)
-	case Fig7:
-		out.Figure7, err = runFigure7(ctx, o)
-	case Fig8:
-		out.Figure, err = runFigure8(ctx, o)
-	case Fig9:
-		out.Figure, err = runFigure9(ctx, o)
-	case Fig10:
-		out.Figure, err = runFigure10(ctx, o)
-	case Table3:
-		out.Table3, err = runTable3(ctx, o)
-	case Energy:
-		out.Energy, err = runEnergy(ctx, o)
-	case Latency:
-		out.Latency, err = runLatencySweep(ctx, o, o.LatencySuite)
-	default:
-		return nil, fmt.Errorf("bench: invalid experiment id %d", int(id))
-	}
+	p, err := experimentPlan(id, o)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	rep, err := sweep.Run(ctx, p.points, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	return p.assemble(rep)
 }
 
 // suite check: Latency's default (the zero LatencySuite) must stay SFP2K,

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ProbeFunc checks one worker's health (GET /healthz in production); nil
+// means healthy.
+type ProbeFunc func(ctx context.Context, worker string) error
+
+// Pool tracks cluster membership across sweeps. Workers are configured
+// once (-workers flag); health is learned lazily: a worker is marked
+// down when a job RPC fails, and stays out of the live set until an
+// exponentially backed-off /healthz probe succeeds — so a flapping
+// worker costs one probe per backoff window, not one failed sweep per
+// request.
+type Pool struct {
+	probe ProbeFunc
+	base  time.Duration // first-retry backoff
+	max   time.Duration // backoff cap
+	now   func() time.Time
+
+	mu      sync.Mutex
+	members map[string]*member
+	order   []string // configured order, for stable reporting
+}
+
+type member struct {
+	down     bool
+	failures int       // consecutive probe/RPC failures
+	retryAt  time.Time // next probe no earlier than this
+	lastErr  string
+}
+
+// MemberStatus is one worker's health snapshot, exported by /metrics.
+type MemberStatus struct {
+	Worker   string `json:"worker"`
+	Healthy  bool   `json:"healthy"`
+	Failures int    `json:"failures,omitempty"`
+	LastErr  string `json:"last_error,omitempty"`
+}
+
+// NewPool tracks the given workers, probing health with probe. Backoff
+// starts at 1s and doubles to a 30s cap.
+func NewPool(workers []string, probe ProbeFunc) *Pool {
+	p := &Pool{
+		probe:   probe,
+		base:    time.Second,
+		max:     30 * time.Second,
+		now:     time.Now,
+		members: make(map[string]*member, len(workers)),
+	}
+	for _, w := range workers {
+		if w == "" {
+			continue
+		}
+		if _, dup := p.members[w]; dup {
+			continue
+		}
+		p.members[w] = &member{}
+		p.order = append(p.order, w)
+	}
+	return p
+}
+
+// Live returns the workers currently considered healthy, in configured
+// order. Down workers whose backoff window has expired are re-probed
+// (concurrently, bounded by ctx) and revived on success.
+func (p *Pool) Live(ctx context.Context) []string {
+	p.mu.Lock()
+	var due []string
+	for _, w := range p.order {
+		m := p.members[w]
+		if m.down && !p.now().Before(m.retryAt) {
+			due = append(due, w)
+		}
+	}
+	p.mu.Unlock()
+
+	if len(due) > 0 && p.probe != nil {
+		var wg sync.WaitGroup
+		for _, w := range due {
+			wg.Add(1)
+			go func(w string) {
+				defer wg.Done()
+				if err := p.probe(ctx, w); err != nil {
+					p.MarkDown(w, err)
+				} else {
+					p.MarkUp(w)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	live := make([]string, 0, len(p.order))
+	for _, w := range p.order {
+		if !p.members[w].down {
+			live = append(live, w)
+		}
+	}
+	return live
+}
+
+// MarkDown records a failed RPC or probe: the worker leaves the live set
+// and its next probe backs off exponentially.
+func (p *Pool) MarkDown(worker string, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.members[worker]
+	if !ok {
+		return
+	}
+	m.down = true
+	m.failures++
+	backoff := p.base << uint(m.failures-1)
+	if backoff > p.max || backoff <= 0 {
+		backoff = p.max
+	}
+	m.retryAt = p.now().Add(backoff)
+	if err != nil {
+		m.lastErr = err.Error()
+	}
+}
+
+// MarkUp revives a worker after a successful probe or RPC.
+func (p *Pool) MarkUp(worker string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.members[worker]; ok {
+		m.down = false
+		m.failures = 0
+		m.lastErr = ""
+	}
+}
+
+// Snapshot reports every configured worker's health, in configured order.
+func (p *Pool) Snapshot() []MemberStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MemberStatus, 0, len(p.order))
+	for _, w := range p.order {
+		m := p.members[w]
+		out = append(out, MemberStatus{
+			Worker:   w,
+			Healthy:  !m.down,
+			Failures: m.failures,
+			LastErr:  m.lastErr,
+		})
+	}
+	return out
+}
+
+// Workers returns the configured worker list (healthy or not).
+func (p *Pool) Workers() []string {
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}

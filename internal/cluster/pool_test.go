@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives Pool time in tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestPoolBackoffProbes(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	var mu sync.Mutex
+	probes := 0
+	probeErr := errors.New("still down")
+	pool := NewPool([]string{"a", "b"}, func(_ context.Context, w string) error {
+		mu.Lock()
+		probes++
+		mu.Unlock()
+		return probeErr
+	})
+	pool.now = clock.Now
+
+	ctx := context.Background()
+	if live := pool.Live(ctx); len(live) != 2 {
+		t.Fatalf("initial live set: %v", live)
+	}
+	pool.MarkDown("b", errors.New("connection refused"))
+	if live := fmt.Sprint(pool.Live(ctx)); live != "[a]" {
+		t.Fatalf("after MarkDown: %v", live)
+	}
+	if probes != 0 {
+		t.Fatalf("probed before backoff expired: %d", probes)
+	}
+
+	// First backoff window (1s) expires: one probe, which fails and
+	// doubles the window.
+	clock.Advance(1100 * time.Millisecond)
+	pool.Live(ctx)
+	if probes != 1 {
+		t.Fatalf("want 1 probe after first window, got %d", probes)
+	}
+	clock.Advance(1100 * time.Millisecond) // 2s window not yet over
+	pool.Live(ctx)
+	if probes != 1 {
+		t.Fatalf("probe fired inside doubled backoff: %d", probes)
+	}
+	clock.Advance(1 * time.Second)
+	probeErr = nil // worker recovered
+	if live := fmt.Sprint(pool.Live(ctx)); live != "[a b]" {
+		t.Fatalf("worker not revived: %v", live)
+	}
+	if probes != 2 {
+		t.Fatalf("want 2 probes total, got %d", probes)
+	}
+
+	snap := pool.Snapshot()
+	if len(snap) != 2 || !snap[1].Healthy || snap[1].Failures != 0 {
+		t.Fatalf("snapshot after revival: %+v", snap)
+	}
+}
+
+func TestPoolSnapshotCarriesError(t *testing.T) {
+	pool := NewPool([]string{"w"}, nil)
+	pool.MarkDown("w", errors.New("boom"))
+	snap := pool.Snapshot()
+	if snap[0].Healthy || snap[0].LastErr != "boom" || snap[0].Failures != 1 {
+		t.Fatalf("snapshot: %+v", snap[0])
+	}
+	// Unknown workers are ignored rather than invented.
+	pool.MarkDown("stranger", nil)
+	pool.MarkUp("stranger")
+	if len(pool.Workers()) != 1 {
+		t.Fatalf("workers: %v", pool.Workers())
+	}
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Ring is a consistent-hash ring over worker names. Each member
+// contributes `replicas` virtual nodes, placed by FNV-1a of
+// "member#replica"; a point fingerprint is owned by the first virtual
+// node clockwise from it. The properties the cluster leans on:
+//
+//   - stability: the same member set always yields the same ring, so a
+//     coordinator restart (or a second coordinator) routes every
+//     fingerprint to the same worker — each worker's memo cache and
+//     persistent store accumulate a stable shard of the keyspace;
+//   - minimal disruption: removing a member reassigns only the points it
+//     owned; every other shard stays put, keeping caches warm through
+//     worker failures.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// DefaultReplicas is the virtual-node count used when NewRing is given
+// replicas <= 0. 64 keeps the shard-size spread within a few percent for
+// small clusters without measurable lookup cost.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over members (duplicates ignored). An empty
+// member set yields a ring whose Owner always reports false.
+func NewRing(members []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+		for v := 0; v < replicas; v++ {
+			h := fnv.New64a()
+			h.Write([]byte(m))
+			h.Write([]byte{'#'})
+			h.Write([]byte(strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), member: m})
+		}
+	}
+	sort.Strings(r.members)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member // deterministic on (absurdly unlikely) collisions
+	})
+	return r
+}
+
+// Owner returns the member owning fingerprint fp, or ("", false) on an
+// empty ring.
+func (r *Ring) Owner(fp uint64) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= fp })
+	if i == len(r.points) {
+		i = 0 // wrap: fp is past the highest virtual node
+	}
+	return r.points[i].member, true
+}
+
+// Members returns the ring's member set, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}

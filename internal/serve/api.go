@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"srlproc/internal/bench"
+	"srlproc/internal/cluster"
 	"srlproc/internal/core"
 	"srlproc/internal/store"
 	"srlproc/internal/sweep"
@@ -124,6 +125,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		s.bump(func(c *counters) { c.BadRequests++ })
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeAPIError(w, cluster.Errorf(http.StatusRequestEntityTooLarge, cluster.CodePayloadTooLarge,
+				"request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -227,6 +234,54 @@ func Experiments() []string {
 	return out
 }
 
+// experimentDoc is one experiment's entry in GET /v1/experiments.
+type experimentDoc struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Description string   `json:"description"`
+}
+
+// experimentsDoc is the GET /v1/experiments response body: the sweepable
+// experiments with their accepted aliases, plus a hint per SweepRequest
+// parameter so the API is discoverable without reading source.
+type experimentsDoc struct {
+	Experiments []experimentDoc   `json:"experiments"`
+	Parameters  map[string]string `json:"parameters"`
+}
+
+// handleExperiments serves the experiment catalog /v1/sweep draws from.
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	s.bump(func(c *counters) { c.Requests++ })
+	ids := bench.AllExperiments()
+	doc := experimentsDoc{
+		Experiments: make([]experimentDoc, 0, len(ids)),
+		Parameters: map[string]string{
+			"experiment":  "required: canonical name or alias from this catalog",
+			"quick":       "bool: run at reduced scale",
+			"run_uops":    "uint: measured uops per point (0 = experiment default)",
+			"warmup_uops": "uint: warmup uops per point (0 = experiment default)",
+			"seed":        "uint: base RNG seed (0 = experiment default)",
+			"workers":     "int: per-job sweep pool size (0 = server default)",
+			"timeout_ms":  "int: job deadline, capped by the server's -max-timeout",
+			"no_cache":    "bool: bypass the memo cache",
+			"stream":      "bool: stream progress as Server-Sent Events",
+		},
+	}
+	for _, id := range ids {
+		doc.Experiments = append(doc.Experiments, experimentDoc{
+			Name:        id.String(),
+			Aliases:     id.Aliases(),
+			Description: id.Description(),
+		})
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
 // options builds the bench.Options for the request against the server's
 // cache and worker-pool configuration.
 func (req *SweepRequest) options(s *Server) bench.Options {
@@ -272,6 +327,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Srlproc-Experiment", id.String())
 	runner := func(ctx context.Context, o bench.Options) (any, error) {
+		if s.cluster != nil {
+			return s.runClusterSweep(ctx, id, &req, o)
+		}
 		return bench.RunExperiment(ctx, id, o)
 	}
 	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "text/event-stream")

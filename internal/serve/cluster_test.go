@@ -1,0 +1,300 @@
+package serve_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"srlproc/internal/serve"
+)
+
+// sweepBody is the experiment request every cluster test runs: small
+// enough to finish fast, deterministic, multi-point (fig6 sweeps four
+// designs across all suites).
+const sweepBody = `{"experiment":"fig6","run_uops":10000,"warmup_uops":2000,"seed":1}`
+
+// startWorker boots one worker-mode server on httptest.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{WorkerMode: true})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// startCoordinator boots a coordinator dispatching to the given workers.
+func startCoordinator(t *testing.T, workers ...string) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{ClusterWorkers: workers})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// standaloneGolden runs sweepBody on a fresh standalone server and
+// returns the response document.
+func standaloneGolden(t *testing.T) []byte {
+	t.Helper()
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp := post(t, ts.Client(), ts.URL+"/v1/sweep", sweepBody)
+	doc := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("standalone sweep: status %d: %s", resp.StatusCode, doc)
+	}
+	return doc
+}
+
+// clusterMetricsOf fetches the /metrics cluster section.
+func clusterMetricsOf(t *testing.T, ts *httptest.Server) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cluster map[string]json.RawMessage `json:"cluster"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Cluster
+}
+
+// TestClusterSweepMatchesStandalone is the tentpole identity check over
+// real HTTP: a sweep fanned out across two worker processes answers with
+// a document byte-identical to a standalone server's, and the cluster
+// shows up in /healthz roles and the /metrics cluster section.
+func TestClusterSweepMatchesStandalone(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	co := startCoordinator(t, w1.URL, w2.URL)
+
+	resp := post(t, co.Client(), co.URL+"/v1/sweep", sweepBody)
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep: status %d: %s", resp.StatusCode, got)
+	}
+	if h := resp.Header.Get("X-Srlproc-Experiment"); h != "fig6" {
+		t.Fatalf("experiment header %q", h)
+	}
+	if want := standaloneGolden(t); !bytes.Equal(got, want) {
+		t.Fatalf("cluster document differs from standalone:\ncluster:    %.300s\nstandalone: %.300s", got, want)
+	}
+
+	// Roles: coordinator on the front node, worker on the back nodes.
+	hresp, err := co.Client().Get(co.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Role string `json:"role"`
+	}
+	if err := json.Unmarshal(readAll(t, hresp), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Role != "coordinator" {
+		t.Fatalf("coordinator role %q", health.Role)
+	}
+	wresp, err := w1.Client().Get(w1.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readAll(t, wresp), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Role != "worker" {
+		t.Fatalf("worker role %q", health.Role)
+	}
+
+	cm := clusterMetricsOf(t, co)
+	if cm == nil {
+		t.Fatal("coordinator /metrics has no cluster section")
+	}
+	if string(cm["role"]) != `"coordinator"` {
+		t.Fatalf("metrics role %s", cm["role"])
+	}
+	if string(cm["sweeps_total"]) != "1" {
+		t.Fatalf("sweeps_total %s", cm["sweeps_total"])
+	}
+	var members []struct {
+		Worker  string `json:"worker"`
+		Healthy bool   `json:"healthy"`
+	}
+	if err := json.Unmarshal(cm["workers"], &members); err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 || !members[0].Healthy || !members[1].Healthy {
+		t.Fatalf("worker snapshot %+v", members)
+	}
+
+	// Both workers simulated a share of the sweep (routing actually
+	// spread the points).
+	for _, w := range []*httptest.Server{w1, w2} {
+		mresp, err := w.Client().Get(w.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Cache struct {
+				Misses uint64 `json:"misses"`
+			} `json:"cache"`
+		}
+		if err := json.Unmarshal(readAll(t, mresp), &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Cache.Misses == 0 {
+			t.Fatalf("worker %s simulated nothing", w.URL)
+		}
+	}
+}
+
+// TestClusterWorkerDeathMidSweep kills one of two workers partway
+// through a sweep (its connection aborts after the first completed job)
+// and requires the coordinator to re-dispatch the lost points and still
+// produce the byte-identical document — determinism makes the retries
+// invisible.
+func TestClusterWorkerDeathMidSweep(t *testing.T) {
+	w1 := startWorker(t)
+
+	inner := serve.New(serve.Config{WorkerMode: true}).Handler()
+	var jobs atomic.Int64
+	w2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/jobs" && jobs.Add(1) > 1 {
+			panic(http.ErrAbortHandler) // dead worker: connection drops mid-RPC
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(w2.Close)
+
+	co := startCoordinator(t, w1.URL, w2.URL)
+	resp := post(t, co.Client(), co.URL+"/v1/sweep", sweepBody)
+	got := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster sweep with dying worker: status %d: %s", resp.StatusCode, got)
+	}
+	if want := standaloneGolden(t); !bytes.Equal(got, want) {
+		t.Fatalf("document after worker death differs from standalone:\ncluster:    %.300s\nstandalone: %.300s", got, want)
+	}
+
+	cm := clusterMetricsOf(t, co)
+	if string(cm["worker_failures_total"]) != "1" {
+		t.Fatalf("worker_failures_total %s", cm["worker_failures_total"])
+	}
+	var redispatched int
+	if err := json.Unmarshal(cm["redispatched_total"], &redispatched); err != nil || redispatched == 0 {
+		t.Fatalf("redispatched_total %s (err %v)", cm["redispatched_total"], err)
+	}
+	var members []struct {
+		Worker  string `json:"worker"`
+		Healthy bool   `json:"healthy"`
+	}
+	if err := json.Unmarshal(cm["workers"], &members); err != nil {
+		t.Fatal(err)
+	}
+	healthy := 0
+	for _, m := range members {
+		if m.Healthy {
+			healthy++
+		}
+	}
+	if healthy != 1 {
+		t.Fatalf("want exactly one healthy member after the kill, got %+v", members)
+	}
+}
+
+// TestClusterSweepSSE streams a cluster sweep over Server-Sent Events:
+// the coordinator multiplexes per-point completions from all workers
+// into one monotonic progress feed, and the terminal result event is the
+// standalone document.
+func TestClusterSweepSSE(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	co := startCoordinator(t, w1.URL, w2.URL)
+
+	body := strings.Replace(sweepBody, "}", `,"stream":true}`, 1)
+	resp := post(t, co.Client(), co.URL+"/v1/sweep", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var events, lastData []string
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	progress := 0
+	lastDone := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+			events = append(events, event)
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if event == "progress" {
+				progress++
+				var p struct {
+					Done  int `json:"done"`
+					Total int `json:"total"`
+				}
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					t.Fatalf("progress event: %v", err)
+				}
+				if p.Done <= lastDone {
+					t.Fatalf("progress not monotonic: %d after %d", p.Done, lastDone)
+				}
+				lastDone = p.Done
+			}
+			lastData = append(lastData, data)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if progress == 0 {
+		t.Fatal("no progress events")
+	}
+	if len(events) == 0 || events[len(events)-1] != "result" {
+		t.Fatalf("terminal event %v", events)
+	}
+	want := bytes.TrimSuffix(standaloneGolden(t), []byte("\n"))
+	if got := lastData[len(lastData)-1]; got != string(want) {
+		t.Fatalf("SSE result differs from standalone:\nsse:        %.300s\nstandalone: %.300s", got, want)
+	}
+}
+
+// TestClusterNoLiveWorkers pins the terminal failure: a coordinator
+// whose only worker is unreachable answers 503 with the unavailable
+// envelope code rather than hanging or returning 500.
+func TestClusterNoLiveWorkers(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	addr := dead.URL
+	dead.Close()
+
+	co := startCoordinator(t, addr)
+	resp := post(t, co.Client(), co.URL+"/v1/sweep", sweepBody)
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != "unavailable" {
+		t.Fatalf("error code %q: %s", env.Error.Code, body)
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"mime"
+	"net/http"
+
+	"srlproc/internal/cluster"
+)
+
+// The v1 error contract: every error response, on every endpoint, is the
+// one JSON envelope defined in internal/cluster (shared with the
+// coordinator↔worker job RPC):
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": 1000}}
+//
+// with Content-Type application/json. Method and media-type mismatches
+// are enforced uniformly by the endpoint wrapper below, so a client can
+// always json-decode an error body no matter which handler or layer
+// produced it.
+
+// writeError emits a uniform error document whose code derives from the
+// status.
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeAPIError(w, cluster.Errorf(status, cluster.CodeForStatus(status), format, args...))
+}
+
+// writeAPIError emits e as the v1 error envelope.
+func (s *Server) writeAPIError(w http.ResponseWriter, e *cluster.APIError) {
+	cluster.WriteError(w, e)
+}
+
+// errStatus maps a job error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, cluster.ErrNoLiveWorkers):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// errCode maps a job error to its envelope code.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, cluster.ErrNoLiveWorkers):
+		return cluster.CodeUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return cluster.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return cluster.CodeClientClosedRequest
+	default:
+		return cluster.CodeInternal
+	}
+}
+
+// endpoint wraps a handler with the uniform v1 routing contract: exactly
+// one allowed method (405 + Allow otherwise) and, for JSON endpoints, an
+// application/json request body (415 otherwise; a missing Content-Type is
+// tolerated for curl-friendliness).
+func (s *Server) endpoint(method string, jsonBody bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			s.bump(func(c *counters) { c.BadRequests++ })
+			w.Header().Set("Allow", method)
+			s.writeAPIError(w, cluster.Errorf(http.StatusMethodNotAllowed, cluster.CodeMethodNotAllowed,
+				"%s does not allow %s (allow: %s)", r.URL.Path, r.Method, method))
+			return
+		}
+		if jsonBody {
+			if ct := r.Header.Get("Content-Type"); ct != "" {
+				mt, _, err := mime.ParseMediaType(ct)
+				if err != nil || mt != "application/json" {
+					s.bump(func(c *counters) { c.BadRequests++ })
+					s.writeAPIError(w, cluster.Errorf(http.StatusUnsupportedMediaType, cluster.CodeUnsupportedMedia,
+						"%s wants Content-Type application/json, got %q", r.URL.Path, ct))
+					return
+				}
+			}
+		}
+		h(w, r)
+	}
+}
+
+// handleNotFound answers unrouted paths with the envelope instead of the
+// ServeMux plain-text default.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.writeAPIError(w, cluster.Errorf(http.StatusNotFound, cluster.CodeNotFound, "no such endpoint: %s", r.URL.Path))
+}

@@ -27,11 +27,11 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"srlproc/internal/cluster"
 	"srlproc/internal/obs"
 	"srlproc/internal/store"
 	"srlproc/internal/sweep"
@@ -77,6 +77,23 @@ type Config struct {
 
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+
+	// ClusterWorkers lists worker base URLs ("host:port" or full URLs).
+	// Non-empty turns this server into a cluster coordinator: /v1/sweep
+	// fans the experiment's design points out as /v1/jobs RPCs, routed
+	// by consistent hash of each point's fingerprint, and merges the
+	// partial reports into the same document a local run produces.
+	ClusterWorkers []string
+
+	// WorkerMode marks this process as a cluster worker for /healthz and
+	// /metrics role reporting. Every server answers /v1/jobs regardless;
+	// the flag only documents intent.
+	WorkerMode bool
+
+	// ClusterClient overrides the coordinator's worker transport (tests
+	// inject fakes); nil means an HTTP client. Ignored without
+	// ClusterWorkers.
+	ClusterClient cluster.JobClient
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +161,9 @@ type Server struct {
 	cnt  counters
 	agg  obs.MetricSet // per-run metric sets merged over the server's life
 	jobs sync.WaitGroup
+
+	// cluster is non-nil on coordinators (Config.ClusterWorkers set).
+	cluster *clusterNode
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -153,7 +173,7 @@ func New(cfg Config) *Server {
 		cfg.Cache.AttachStore(cfg.Store)
 	}
 	hardCtx, hardCancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		cache:      cfg.Cache,
 		start:      time.Now(),
@@ -162,20 +182,41 @@ func New(cfg Config) *Server {
 		hardCtx:    hardCtx,
 		hardCancel: hardCancel,
 	}
+	if len(cfg.ClusterWorkers) > 0 {
+		s.cluster = newClusterNode(cfg.ClusterWorkers, cfg.ClusterClient)
+	}
+	return s
+}
+
+// role reports this server's cluster role for /healthz and /metrics.
+func (s *Server) role() string {
+	switch {
+	case s.cluster != nil:
+		return "coordinator"
+	case s.cfg.WorkerMode:
+		return "worker"
+	}
+	return "standalone"
 }
 
 // Cache returns the memo cache the server runs jobs against.
 func (s *Server) Cache() *sweep.Cache { return s.cache }
 
-// Handler returns the server's routed HTTP handler.
+// Handler returns the server's routed HTTP handler. Every route goes
+// through the endpoint wrapper, so wrong methods (405 + Allow), wrong
+// request media types (415) and unknown paths (404) all answer with the
+// same JSON error envelope the handlers use.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
-	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	mux.HandleFunc("GET /v1/results/{fingerprint}", s.handleResults)
-	mux.HandleFunc("GET /v1/store/stats", s.handleStoreStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/simulate", s.endpoint(http.MethodPost, true, s.handleSimulate))
+	mux.HandleFunc("/v1/sweep", s.endpoint(http.MethodPost, true, s.handleSweep))
+	mux.HandleFunc("/v1/jobs", s.endpoint(http.MethodPost, true, s.handleJobs))
+	mux.HandleFunc("/v1/experiments", s.endpoint(http.MethodGet, false, s.handleExperiments))
+	mux.HandleFunc("/v1/results/{fingerprint}", s.endpoint(http.MethodGet, false, s.handleResults))
+	mux.HandleFunc("/v1/store/stats", s.endpoint(http.MethodGet, false, s.handleStoreStats))
+	mux.HandleFunc("/healthz", s.endpoint(http.MethodGet, false, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.endpoint(http.MethodGet, false, s.handleMetrics))
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
 }
 
@@ -227,15 +268,16 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	if s.draining.Load() {
 		s.bump(func(c *counters) { c.RefusedDraining++ })
-		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		s.writeAPIError(w, cluster.Errorf(http.StatusServiceUnavailable, cluster.CodeDraining, "server is draining"))
 		return nil, false
 	}
 	select {
 	case s.slots <- struct{}{}:
 	default:
 		s.bump(func(c *counters) { c.Shed++ })
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		s.writeError(w, http.StatusTooManyRequests, "job queue full")
+		e := cluster.Errorf(http.StatusTooManyRequests, cluster.CodeTooManyRequests, "job queue full")
+		e.RetryAfterMs = int64(s.retryAfterSeconds()) * 1000
+		s.writeAPIError(w, e)
 		return nil, false
 	}
 	s.jobs.Add(1)
@@ -341,18 +383,6 @@ func (s *Server) jobContext(r *http.Request, timeoutMs int64) (context.Context, 
 // nothing can read the response, but logs and counters see the intent.
 const statusClientClosedRequest = 499
 
-// errStatus maps a job error to an HTTP status.
-func errStatus(err error) int {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return statusClientClosedRequest
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
 // finishJob classifies a completed job into counters and, on error,
 // writes the error response. It returns true when the job succeeded.
 func (s *Server) finishJob(w http.ResponseWriter, err error) bool {
@@ -367,16 +397,8 @@ func (s *Server) finishJob(w http.ResponseWriter, err error) bool {
 			c.Timeouts++
 		}
 	})
-	s.writeError(w, status, "%v", err)
+	s.writeAPIError(w, cluster.Errorf(status, errCode(err), "%v", err))
 	return false
-}
-
-// writeError emits the uniform JSON error document.
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	doc, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
-	w.Write(append(doc, '\n'))
 }
 
 // writeJSON emits doc (already-marshaled JSON) with a trailing newline.
@@ -386,9 +408,13 @@ func writeJSON(w http.ResponseWriter, status int, doc []byte) {
 	w.Write(append(doc, '\n'))
 }
 
-// healthDoc is the /healthz response body.
+// healthDoc is the /healthz response body. Role drives cluster
+// membership: coordinators probe worker /healthz endpoints and only
+// dispatch to workers answering 200, so a draining worker (503) leaves
+// the live set before its listener goes away.
 type healthDoc struct {
 	Status   string `json:"status"`
+	Role     string `json:"role"`
 	InFlight int    `json:"inflight"`
 	Queued   int    `json:"queued"`
 	UptimeMs int64  `json:"uptime_ms"`
@@ -402,6 +428,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := healthDoc{
 		Status:   "ok",
+		Role:     s.role(),
 		InFlight: running,
 		Queued:   queued,
 		UptimeMs: time.Since(s.start).Milliseconds(),
@@ -427,6 +454,7 @@ type metricsDoc struct {
 	} `json:"server"`
 	Cache      sweep.Stats       `json:"cache"`
 	Store      *store.Stats      `json:"store,omitempty"`
+	Cluster    *clusterMetrics   `json:"cluster,omitempty"`
 	SimMetrics map[string]uint64 `json:"sim_metrics"`
 }
 
@@ -448,6 +476,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.cache.StoreStats(); ok {
 		doc.Store = &st
 	}
+	doc.Cluster = s.clusterMetricsSnapshot()
 	b, err := json.Marshal(doc)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)

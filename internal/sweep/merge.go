@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"srlproc/internal/core"
+)
+
+// MergeReports combines partial reports from sharded execution into one
+// Report over the canonical point list, in canonical order.
+//
+// points is the full sweep (for an experiment, bench.ExperimentPoints);
+// each part covers some subset of it, matched by core.PointFingerprint.
+// Shards may overlap — re-dispatch after a worker failure can legitimately
+// run a point twice — and the first result for a point wins, which is
+// sound because the simulator is deterministic in its config: every run of
+// a point produces identical Results. A part point whose fingerprint does
+// not appear in the canonical list is an error (the shards are answering a
+// different sweep); a canonical point no part covered is reported as a
+// failed point, mirroring how Run reports points a cancelled pool never
+// reached.
+//
+// Aggregate counters are summed across shards: CacheHits, Simulated,
+// Failed, and Workers (the cluster-wide pool size). Elapsed is the maximum
+// part elapsed — shards run concurrently, so the slowest shard bounds the
+// wall time. Err is rebuilt with errors.Join over the merged points, like
+// Run's.
+func MergeReports(points []Point, parts ...*Report) (*Report, error) {
+	rep := &Report{Points: make([]PointResult, len(points))}
+	index := make(map[uint64]int, len(points))
+	for i, p := range points {
+		rep.Points[i].Point = p
+		fp := core.PointFingerprint(p.Cfg, p.Suite)
+		if prev, dup := index[fp]; dup {
+			return nil, fmt.Errorf("sweep: merge: points %d and %d share fingerprint %016x", prev, i, fp)
+		}
+		index[fp] = i
+	}
+	covered := make([]bool, len(points))
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if part.Elapsed > rep.Elapsed {
+			rep.Elapsed = part.Elapsed
+		}
+		rep.Workers += part.Workers
+		for i := range part.Points {
+			pr := &part.Points[i]
+			fp := core.PointFingerprint(pr.Point.Cfg, pr.Point.Suite)
+			at, ok := index[fp]
+			if !ok {
+				return nil, fmt.Errorf("sweep: merge: shard point %s (fingerprint %016x) is not in the sweep", pr.Point, fp)
+			}
+			if covered[at] {
+				continue // re-dispatched duplicate; determinism makes it identical
+			}
+			covered[at] = true
+			rep.Points[at] = *pr
+		}
+	}
+	for i := range rep.Points {
+		if !covered[i] {
+			rep.Points[i].Err = fmt.Errorf("sweep: point not run in any shard")
+		}
+	}
+	var errs []error
+	for i := range rep.Points {
+		pr := &rep.Points[i]
+		switch {
+		case pr.CacheHit:
+			rep.CacheHits++
+		case pr.Err == nil:
+			rep.Simulated++
+		}
+		if pr.Err != nil {
+			rep.Failed++
+			errs = append(errs, fmt.Errorf("%s: %w", pr.Point, pr.Err))
+		}
+	}
+	rep.Err = errors.Join(errs...)
+	return rep, nil
+}

@@ -1,0 +1,168 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"srlproc/internal/core"
+	"srlproc/internal/trace"
+)
+
+// mergePoints builds n distinct fast points (distinct seeds → distinct
+// fingerprints).
+func mergePoints(n int, seed uint64) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			Label: fmt.Sprintf("m%d", i),
+			Cfg:   tinyCfg(core.DesignSRL, seed+uint64(i)),
+			Suite: trace.PROD,
+		}
+	}
+	return pts
+}
+
+// runShard runs just the given indexes of points through the fake
+// simulator and returns the partial report.
+func runShard(t *testing.T, points []Point, idx ...int) *Report {
+	t.Helper()
+	shard := make([]Point, 0, len(idx))
+	for _, i := range idx {
+		shard = append(shard, points[i])
+	}
+	rep, err := Run(context.Background(), shard, Options{
+		NoCache: true,
+		Simulate: func(_ context.Context, cfg core.Config, suite trace.Suite) (*core.Results, error) {
+			return fakeResults(cfg, suite), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestMergeReportsRestoresCanonicalOrder(t *testing.T) {
+	points := mergePoints(5, 9100)
+	// Shards cover the sweep out of order and with overlap (index 2 runs
+	// twice, as a re-dispatch after a worker loss would).
+	a := runShard(t, points, 3, 1)
+	b := runShard(t, points, 4, 2, 0)
+	c := runShard(t, points, 2)
+
+	merged, err := MergeReports(points, a, b, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Err != nil || merged.Failed != 0 {
+		t.Fatalf("merged report carries errors: failed=%d err=%v", merged.Failed, merged.Err)
+	}
+	if merged.Simulated != 5 || merged.CacheHits != 0 {
+		t.Fatalf("counter merge: simulated=%d cacheHits=%d, want 5/0", merged.Simulated, merged.CacheHits)
+	}
+	single := runShard(t, points, 0, 1, 2, 3, 4)
+	for i := range points {
+		if merged.Points[i].Point.String() != points[i].String() {
+			t.Fatalf("point %d out of order: got %s want %s", i, merged.Points[i].Point, points[i])
+		}
+		got, _ := json.Marshal(merged.Points[i].Results)
+		want, _ := json.Marshal(single.Points[i].Results)
+		if string(got) != string(want) {
+			t.Fatalf("point %d results differ from single run:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if want := a.Elapsed; merged.Elapsed < want && merged.Elapsed < b.Elapsed && merged.Elapsed < c.Elapsed {
+		t.Fatalf("merged elapsed %v below every shard", merged.Elapsed)
+	}
+}
+
+func TestMergeReportsSumsCounters(t *testing.T) {
+	points := mergePoints(4, 9200)
+	cache := NewCache()
+	run := func(idx ...int) *Report {
+		shard := make([]Point, 0, len(idx))
+		for _, i := range idx {
+			shard = append(shard, points[i])
+		}
+		rep, err := Run(context.Background(), shard, Options{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a := run(0, 1)
+	b := run(1, 2, 3) // point 1 is now warm: one cache hit in this shard
+	if b.CacheHits != 1 {
+		t.Fatalf("setup: shard b expected 1 cache hit, got %d", b.CacheHits)
+	}
+	merged, err := MergeReports(points, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point 1 appears in both shards; shard a's fresh simulation wins
+	// (first result per fingerprint), so the merged report counts 4
+	// simulated and 0 hits over its points, while Workers sums the pools.
+	if merged.Simulated != 4 || merged.CacheHits != 0 || merged.Failed != 0 {
+		t.Fatalf("counters: simulated=%d hits=%d failed=%d", merged.Simulated, merged.CacheHits, merged.Failed)
+	}
+	if merged.Workers != a.Workers+b.Workers {
+		t.Fatalf("workers: got %d want %d", merged.Workers, a.Workers+b.Workers)
+	}
+}
+
+func TestMergeReportsUncoveredPointFails(t *testing.T) {
+	points := mergePoints(3, 9300)
+	a := runShard(t, points, 0, 2)
+	merged, err := MergeReports(points, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Failed != 1 || merged.Err == nil {
+		t.Fatalf("uncovered point not failed: failed=%d err=%v", merged.Failed, merged.Err)
+	}
+	if merged.Points[1].Err == nil || !strings.Contains(merged.Points[1].Err.Error(), "not run in any shard") {
+		t.Fatalf("point 1 error: %v", merged.Points[1].Err)
+	}
+	if merged.Points[0].Err != nil || merged.Points[2].Err != nil {
+		t.Fatalf("covered points failed: %v %v", merged.Points[0].Err, merged.Points[2].Err)
+	}
+}
+
+func TestMergeReportsRejectsForeignPoint(t *testing.T) {
+	points := mergePoints(2, 9400)
+	foreign := mergePoints(1, 9900)
+	a := runShard(t, foreign, 0)
+	if _, err := MergeReports(points, a); err == nil || !strings.Contains(err.Error(), "not in the sweep") {
+		t.Fatalf("foreign shard point not rejected: %v", err)
+	}
+}
+
+func TestMergeReportsPropagatesShardFailures(t *testing.T) {
+	points := mergePoints(2, 9500)
+	boom := fmt.Errorf("simulated fault")
+	// Run reports point failures both per-point and as its own error; the
+	// partial report is still a valid merge input.
+	rep, err := Run(context.Background(), points[:1], Options{
+		NoCache: true,
+		Simulate: func(context.Context, core.Config, trace.Suite) (*core.Results, error) {
+			return nil, boom
+		},
+	})
+	if err == nil || rep == nil {
+		t.Fatalf("faulty shard: rep=%v err=%v", rep, err)
+	}
+	b := runShard(t, points, 1)
+	merged, err := MergeReports(points, rep, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Failed != 1 || merged.Simulated != 1 {
+		t.Fatalf("counters: failed=%d simulated=%d", merged.Failed, merged.Simulated)
+	}
+	if merged.Points[0].Err == nil || merged.Err == nil {
+		t.Fatalf("shard failure lost in merge: point=%v report=%v", merged.Points[0].Err, merged.Err)
+	}
+}

@@ -69,7 +69,7 @@ drain_clean() {
 wait_healthy
 
 echo "serve-smoke: /v1/simulate"
-out=$(curl -sf -X POST "$BASE/v1/simulate" \
+out=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/simulate" \
     -d '{"design":"srl","suite":"SINT2K","run_uops":20000,"warmup_uops":4000}')
 case "$out" in
 *'"uops"'*) ;;
@@ -77,7 +77,7 @@ case "$out" in
 esac
 
 echo "serve-smoke: /v1/sweep (table3, quick)"
-out=$(curl -sf -X POST "$BASE/v1/sweep" \
+out=$(curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/sweep" \
     -d '{"experiment":"table3","quick":true,"run_uops":4000,"warmup_uops":1000}')
 case "$out" in
 *'"srl"'* | *'"suites"'* | *'"rows"'* | *'{'*) ;;
@@ -102,13 +102,13 @@ echo "serve-smoke: cold start with -store-dir"
 "$BIN" -addr "$ADDR" -drain-timeout 30s -store-dir "$STOREDIR" 2>"$LOG" &
 pid=$!
 wait_healthy
-curl -sf -X POST "$BASE/v1/simulate" -d "$SIM" -D "$HDRS" >/dev/null
+curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/simulate" -d "$SIM" -D "$HDRS" >/dev/null
 FP=$(tr -d '\r' <"$HDRS" | awk -F': ' 'tolower($1)=="x-srlproc-point"{print $2}')
 if [ -z "$FP" ]; then
     echo "serve-smoke: no X-Srlproc-Point header on simulate" >&2
     exit 1
 fi
-curl -sf -X POST "$BASE/v1/sweep" -d "$SWEEP" >/dev/null
+curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/sweep" -d "$SWEEP" >/dev/null
 drain_clean
 
 echo "serve-smoke: warm restart from $STOREDIR"
@@ -120,8 +120,8 @@ case "$out" in
 *'"uops"'*) ;;
 *) echo "serve-smoke: /v1/results/$FP missing uops: $out" >&2; exit 1 ;;
 esac
-curl -sf -X POST "$BASE/v1/simulate" -d "$SIM" >/dev/null
-curl -sf -X POST "$BASE/v1/sweep" -d "$SWEEP" -D "$HDRS" >/dev/null
+curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/simulate" -d "$SIM" >/dev/null
+curl -sf -X POST -H 'Content-Type: application/json' "$BASE/v1/sweep" -d "$SWEEP" -D "$HDRS" >/dev/null
 EXP=$(tr -d '\r' <"$HDRS" | awk -F': ' 'tolower($1)=="x-srlproc-experiment"{print $2}')
 if [ "$EXP" != "table3" ]; then
     echo "serve-smoke: X-Srlproc-Experiment header $EXP, want table3" >&2

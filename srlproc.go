@@ -389,77 +389,105 @@ func RunExperiment(ctx context.Context, id ExperimentID, o Options) (*Experiment
 
 // RunFigure2Context reproduces Figure 2: percent speedup of single-level
 // store queues of 128..1K entries over the 48-entry baseline, per suite.
+//
+// Deprecated: use RunExperiment(ctx, Fig2, o) and read the result's
+// Figure field — the unified entry point every wrapper now delegates to.
 func RunFigure2Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return bench.RunFigure2Context(ctx, o)
 }
 
 // RunFigure6Context reproduces Figure 6: SRL vs the hierarchical store
 // queue vs an ideal (1K-entry, fast) store queue, over the baseline.
+//
+// Deprecated: use RunExperiment(ctx, Fig6, o) and read the result's
+// Figure field — the unified entry point every wrapper now delegates to.
 func RunFigure6Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return bench.RunFigure6Context(ctx, o)
 }
 
 // RunTable3Context reproduces Table 3: SRL statistics per suite.
+//
+// Deprecated: use RunExperiment(ctx, Table3, o) and read the result's
+// Table3 field — the unified entry point every wrapper now delegates to.
 func RunTable3Context(ctx context.Context, o Options) (*Table3Result, error) {
 	return bench.RunTable3Context(ctx, o)
 }
 
 // RunFigure7Context reproduces Figure 7: the SRL occupancy distribution.
+//
+// Deprecated: use RunExperiment(ctx, Fig7, o) and read the result's
+// Figure7 field — the unified entry point every wrapper now delegates to.
 func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 	return bench.RunFigure7Context(ctx, o)
 }
 
 // RunFigure8Context reproduces Figure 8: the LCF and indexed-forwarding
 // ablation.
+//
+// Deprecated: use RunExperiment(ctx, Fig8, o) and read the result's
+// Figure field — the unified entry point every wrapper now delegates to.
 func RunFigure8Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return bench.RunFigure8Context(ctx, o)
 }
 
 // RunFigure9Context reproduces Figure 9: the LCF size and hash-function
 // sweep.
+//
+// Deprecated: use RunExperiment(ctx, Fig9, o) and read the result's
+// Figure field — the unified entry point every wrapper now delegates to.
 func RunFigure9Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return bench.RunFigure9Context(ctx, o)
 }
 
 // RunFigure10Context reproduces Figure 10: the separate forwarding cache
 // vs data-cache temporary updates.
+//
+// Deprecated: use RunExperiment(ctx, Fig10, o) and read the result's
+// Figure field — the unified entry point every wrapper now delegates to.
 func RunFigure10Context(ctx context.Context, o Options) (*FigureResult, error) {
 	return bench.RunFigure10Context(ctx, o)
 }
 
 // RunFigure2 reproduces Figure 2 with context.Background().
 //
-// Deprecated: use RunFigure2Context.
+// Deprecated: use RunExperiment(ctx, Fig2, o), which supports
+// cancellation and deadlines.
 func RunFigure2(o Options) (*FigureResult, error) { return bench.RunFigure2(o) }
 
 // RunFigure6 reproduces Figure 6 with context.Background().
 //
-// Deprecated: use RunFigure6Context.
+// Deprecated: use RunExperiment(ctx, Fig6, o), which supports
+// cancellation and deadlines.
 func RunFigure6(o Options) (*FigureResult, error) { return bench.RunFigure6(o) }
 
 // RunTable3 reproduces Table 3 with context.Background().
 //
-// Deprecated: use RunTable3Context.
+// Deprecated: use RunExperiment(ctx, Table3, o), which supports
+// cancellation and deadlines.
 func RunTable3(o Options) (*Table3Result, error) { return bench.RunTable3(o) }
 
 // RunFigure7 reproduces Figure 7 with context.Background().
 //
-// Deprecated: use RunFigure7Context.
+// Deprecated: use RunExperiment(ctx, Fig7, o), which supports
+// cancellation and deadlines.
 func RunFigure7(o Options) (*Figure7Result, error) { return bench.RunFigure7(o) }
 
 // RunFigure8 reproduces Figure 8 with context.Background().
 //
-// Deprecated: use RunFigure8Context.
+// Deprecated: use RunExperiment(ctx, Fig8, o), which supports
+// cancellation and deadlines.
 func RunFigure8(o Options) (*FigureResult, error) { return bench.RunFigure8(o) }
 
 // RunFigure9 reproduces Figure 9 with context.Background().
 //
-// Deprecated: use RunFigure9Context.
+// Deprecated: use RunExperiment(ctx, Fig9, o), which supports
+// cancellation and deadlines.
 func RunFigure9(o Options) (*FigureResult, error) { return bench.RunFigure9(o) }
 
 // RunFigure10 reproduces Figure 10 with context.Background().
 //
-// Deprecated: use RunFigure10Context.
+// Deprecated: use RunExperiment(ctx, Fig10, o), which supports
+// cancellation and deadlines.
 func RunFigure10(o Options) (*FigureResult, error) { return bench.RunFigure10(o) }
 
 // RenderTable1 prints the baseline machine configuration (Table 1). It
