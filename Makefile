@@ -36,7 +36,9 @@ BENCHRAW ?= /tmp/srlproc_bench_raw.txt
 bench-json:
 	@{ go test -run '^$$' -bench '^BenchmarkSweepMatrix$$/^serial$$' -benchtime 1x -benchmem . && \
 	   go test -run '^$$' -bench '^(BenchmarkCycleLoop|BenchmarkReadyHeap|BenchmarkIssueWidth)(/|$$)' \
-	       -benchtime 20000x -count 3 -benchmem ./internal/core ; } | tee $(BENCHRAW) | \
+	       -benchtime 20000x -count 3 -benchmem ./internal/core && \
+	   go test -run '^$$' -bench '^BenchmarkCycleLoopSkip(/|$$)' \
+	       -benchtime 10x -count 3 -benchmem ./internal/core ; } | tee $(BENCHRAW) | \
 	   go run ./cmd/benchjson -o $(BENCHOUT)
 	@echo "wrote $(BENCHOUT) (raw text: $(BENCHRAW))"
 

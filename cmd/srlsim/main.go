@@ -46,6 +46,7 @@ func run() int {
 	noLCF := flag.Bool("no-lcf", false, "disable the loose check filter (srl)")
 	noIF := flag.Bool("no-indexed-fwd", false, "disable indexed forwarding (srl)")
 	noFC := flag.Bool("no-fc", false, "use the data cache for temporary updates instead of the FC (srl)")
+	noSkip := flag.Bool("noskip", false, "disable event-driven cycle skipping (bit-identical results, slower wall clock)")
 	verbose := flag.Bool("v", false, "print extra counters")
 	asJSON := flag.Bool("json", false, "emit the full results document as JSON")
 	asCSV := flag.Bool("csv", false, "emit the results as CSV (header + one row)")
@@ -136,6 +137,9 @@ func run() int {
 	}
 	if *noFC {
 		cfg.UseFC = false
+	}
+	if *noSkip {
+		cfg.EventSkip = false
 	}
 	if *timelineOut != "" || *sampleEvery > 0 {
 		cfg.Obs.SampleEvery = *sampleEvery

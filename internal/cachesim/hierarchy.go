@@ -89,6 +89,25 @@ func (h *Hierarchy) PrefetchIssued() uint64 {
 	return h.pf.Issued()
 }
 
+// EarliestPendingFill returns the earliest MSHR fill-completion cycle
+// strictly after the given cycle, and whether one exists. It is a pure
+// read for the core's cycle-skip event computation: unlike the access
+// path it never prunes the MSHR map, so calling it cannot perturb later
+// MSHR-occupancy decisions. The answer is conservative — a fill already
+// merged into an L1 line resolves through the completion heap instead —
+// but every cycle it names is a cycle at which memory state can change.
+func (h *Hierarchy) EarliestPendingFill(cycle uint64) (uint64, bool) {
+	best := ^uint64(0)
+	ok := false
+	for _, done := range h.mshrs {
+		if done > cycle && done < best {
+			best = done
+			ok = true
+		}
+	}
+	return best, ok
+}
+
 func (h *Hierarchy) pruneMSHRs(cycle uint64) {
 	if len(h.mshrs) == 0 {
 		return

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"encoding/json"
 	"testing"
 
 	"srlproc/internal/trace"
@@ -40,6 +41,28 @@ func FuzzOracle(f *testing.F) {
 				pt.Cfg.LoadBufAssoc, pt.Cfg.LoadBufPolicy,
 				pt.Cfg.Checkpoints, pt.Cfg.CkptInterval, pt.Cfg.WindowCap,
 				pt.Cfg.Mem.MSHRs, pt.Cfg.Mem.PrefetchOn)
+		}
+		// Skip-identity round: the same point with the cycle-skip
+		// fast-forward inverted must produce a byte-identical Results
+		// document — the fuzzer explores the config space the curated
+		// golden suite cannot.
+		flipped := pt.Cfg
+		flipped.EventSkip = !pt.Cfg.EventSkip
+		res2, err := RunChecked(flipped, pt.Suite, uops)
+		if err != nil {
+			t.Fatalf("EventSkip=%v rerun failed: %v", flipped.EventSkip, err)
+		}
+		a, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("EventSkip changed the Results document on %s/%s seed=%#x\n--- skip=%v ---\n%s\n--- skip=%v ---\n%s",
+				pt.Cfg.Design, pt.Suite, pt.Cfg.Seed, pt.Cfg.EventSkip, a, flipped.EventSkip, b)
 		}
 	})
 }

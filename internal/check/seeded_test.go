@@ -1,6 +1,7 @@
 package check
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -102,6 +103,9 @@ func TestSeededForwardingBugCaught(t *testing.T) {
 // Each file in testdata/regress is the output of a Minimize run on a real
 // or seeded bug; if a refactor makes one stop reproducing, either the bug
 // class became unreachable (update the trace) or the oracle lost coverage.
+// Every trace runs with event-driven cycle skipping on and off and both
+// Results documents must be byte-identical: the fast-forward must not
+// move, mask, or duplicate an oracle divergence.
 func TestRegressionTraces(t *testing.T) {
 	paths, err := filepath.Glob(filepath.Join("testdata", "regress", "*.srlt"))
 	if err != nil {
@@ -122,15 +126,28 @@ func TestRegressionTraces(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := RunChecked(faultCfg(), trace.SINT2K, uops)
-			if err != nil {
-				t.Fatal(err)
+			var docs [2][]byte
+			for i, skip := range []bool{true, false} {
+				cfg := faultCfg()
+				cfg.EventSkip = skip
+				res, err := RunChecked(cfg, trace.SINT2K, uops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.DivergenceCount == 0 {
+					t.Fatalf("regression trace %s no longer reproduces any divergence (EventSkip=%v)", p, skip)
+				}
+				if docs[i], err = json.Marshal(res); err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					t.Logf("%s: %d divergences (first %v at cycle %d)",
+						filepath.Base(p), res.DivergenceCount, res.Divergences[0].Kind, res.Divergences[0].Cycle)
+				}
 			}
-			if res.DivergenceCount == 0 {
-				t.Fatalf("regression trace %s no longer reproduces any divergence", p)
+			if string(docs[0]) != string(docs[1]) {
+				t.Fatalf("EventSkip changed the checked Results document for %s", p)
 			}
-			t.Logf("%s: %d divergences (first %v at cycle %d)",
-				filepath.Base(p), res.DivergenceCount, res.Divergences[0].Kind, res.Divergences[0].Cycle)
 		})
 	}
 }

@@ -153,6 +153,18 @@ type Config struct {
 	// rate comes from the workload profile unless disabled here.
 	SnoopsEnabled bool
 
+	// EventSkip lets the cycle loop fast-forward quiescent gaps: when a
+	// probe cycle proves no uop can make progress, the core jumps straight
+	// to the next interesting cycle (completion-heap head, MSHR fill
+	// return, SDB drain wake-up, front-end resume, temporary-update
+	// retry, or timeline sample), accumulating the skipped width into
+	// every cycle-denominated statistic. The jump is bit-for-bit
+	// identical to stepping by construction (see internal/core/skip.go
+	// and DESIGN.md §11), so EventSkip is excluded from Fingerprint:
+	// skipped and stepped runs share memoized results. Default on;
+	// `-noskip` in cmd/srlsim and cmd/experiments turns it off.
+	EventSkip bool
+
 	// Check runs the differential oracle (internal/oracle) in lockstep
 	// with the pipeline: a fully searched program-ordered reference memory
 	// system cross-checks every load's forwarding decision, every redo
@@ -238,6 +250,7 @@ func DefaultConfig(d StoreDesign) Config {
 		RunUops:    250_000,
 
 		SnoopsEnabled: true,
+		EventSkip:     true,
 	}
 }
 

@@ -132,6 +132,17 @@ type Core struct {
 	recentLoads []uint64
 	rlPos       int
 
+	// pendingSnoopFire marks that the cycle-skip fast-forward already drew
+	// this cycle's snoop coin (and it came up heads): injectSnoops must
+	// fire without drawing again. See skip.go's applySkip.
+	pendingSnoopFire bool
+
+	// skip is the event-driven cycle-skipping engine (see skip.go): it
+	// probes one real cycle, verifies the machine was quiescent, and
+	// fast-forwards to the next interesting cycle with every
+	// cycle-denominated statistic extrapolated across the gap.
+	skip skipState
+
 	// snoopSink, when set, receives the line address of every globally
 	// visible store this core performs (a multicore system routes these to
 	// the other cores' coherence ports).
@@ -364,20 +375,42 @@ func (c *Core) Run() *Results {
 // stays off the per-cycle hot path.
 const ctxPollMask = 0x1fff
 
+// progressGuardIters bounds loop iterations between committed-uop advances.
+// It is denominated in iterations, not cycles: with EventSkip one iteration
+// can cover thousands of simulated cycles, so a cycle-based bound would
+// false-panic on legitimately long miss shadows when skipping is off and
+// degenerate to uselessness when it is on. The largest legitimate
+// commit-to-commit gap observed across the figure sweeps is a few million
+// stepped cycles; 40M iterations is an order of magnitude of headroom while
+// still catching a genuinely wedged machine in seconds of wall time.
+const progressGuardIters = 40_000_000
+
 // RunContext simulates like Run but with cooperative cancellation: the
-// context is polled every few thousand simulated cycles and, once it is
+// context is polled every few thousand loop iterations and, once it is
 // done, the run stops and ctx.Err() is returned (wrapped). The core is left
 // mid-flight and must not be reused after a cancelled run.
+//
+// When cfg.EventSkip is set, each real step may be followed by a
+// fast-forward over a proven-quiescent gap (see skip.go). The ctx poll
+// cadence is iteration-based, so cancellation latency stays wall-clock
+// bounded no matter how many simulated cycles a single iteration covers.
 func (c *Core) RunContext(ctx context.Context) (*Results, error) {
-	guard := uint64(0)
+	var iter, sinceCommit uint64
+	lastCommitted := c.committed
 	for !c.Done() {
-		if guard&ctxPollMask == 0 && ctx.Err() != nil {
+		if iter&ctxPollMask == 0 && ctx.Err() != nil {
 			return nil, fmt.Errorf("core: %s/%s run aborted at cycle %d: %w",
 				c.res.Suite, c.res.Design, c.cycle, ctx.Err())
 		}
 		c.StepCycle()
-		guard++
-		if guard > 400*(c.cfg.WarmupUops+c.cfg.RunUops)+10_000_000 {
+		if c.cfg.EventSkip {
+			c.maybeSkip()
+		}
+		iter++
+		if c.committed != lastCommitted {
+			lastCommitted = c.committed
+			sinceCommit = 0
+		} else if sinceCommit++; sinceCommit > progressGuardIters {
 			panic("core: no forward progress: " + c.debugState())
 		}
 	}

@@ -15,7 +15,12 @@ import (
 //
 // The hash is stable within a process and across runs of the same build; it
 // is not a serialization format and makes no cross-version promises.
+//
+// EventSkip is normalized out before hashing: cycle skipping is proven
+// bit-for-bit identical to plain stepping, so a skipped and a stepped run
+// of the same point are the same result and must share memo/store entries.
 func (c Config) Fingerprint() uint64 {
+	c.EventSkip = false
 	h := fnv.New64a()
 	// %#v spells out every field name and value of the struct, recursing
 	// into the nested cachesim.Config, so any config change perturbs the

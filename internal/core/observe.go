@@ -10,9 +10,15 @@ import "srlproc/internal/obs"
 // BenchmarkCycleLoopObsOff pins down.
 type obsState struct {
 	sampleEvery uint64
-	nextSample  uint64 // cycle of the next timeline sample (^0 if disabled)
-	timeline    *obs.Timeline
-	trace       *obs.TraceWriter
+	// nextSample is the cycle of the next timeline sample (^0 if
+	// disabled). It is a first-class wake-up event in the cycle-skip
+	// engine's nextEventCycle (skip.go): a fast-forward never jumps over
+	// a sample boundary, so enabling -timeline/-trace-out changes neither
+	// the skip decisions' outcomes nor any sampled value — samples always
+	// land on real steps and see exactly the counters a stepped run shows.
+	nextSample uint64
+	timeline   *obs.Timeline
+	trace      *obs.TraceWriter
 
 	// Baselines for window-relative deltas. committed never resets, but
 	// the res.* counters do (at the warmup boundary), so resetStats

@@ -42,16 +42,36 @@ func TestObservabilityDisabledByDefault(t *testing.T) {
 }
 
 // TestObservedRunMatchesUnobserved: attaching the sampler and trace must
-// not perturb the simulation itself.
+// not perturb the simulation itself — in both cycle-loop modes. With
+// EventSkip on, the sampler's nextSample becomes an extra wake event that
+// changes which cycles get fast-forwarded, so this pins the stronger
+// claim: observation may reshape skip decisions but never their outcomes,
+// down to the full typed metric set.
 func TestObservedRunMatchesUnobserved(t *testing.T) {
-	plain := runObs(t, obsTestConfig())
-	cfg := obsTestConfig()
-	cfg.Obs = obs.DefaultConfig()
-	cfg.Obs.SampleEvery = 512
-	observed := runObs(t, cfg)
-	if plain.Cycles != observed.Cycles || plain.Uops != observed.Uops || plain.Restarts != observed.Restarts {
-		t.Fatalf("observation perturbed the run: %d/%d/%d vs %d/%d/%d",
-			plain.Cycles, plain.Uops, plain.Restarts, observed.Cycles, observed.Uops, observed.Restarts)
+	for _, skip := range []bool{true, false} {
+		skip := skip
+		name := "skip"
+		if !skip {
+			name = "step"
+		}
+		t.Run(name, func(t *testing.T) {
+			plainCfg := obsTestConfig()
+			plainCfg.EventSkip = skip
+			plain := runObs(t, plainCfg)
+			cfg := obsTestConfig()
+			cfg.EventSkip = skip
+			cfg.Obs = obs.DefaultConfig()
+			cfg.Obs.SampleEvery = 512
+			observed := runObs(t, cfg)
+			if plain.Cycles != observed.Cycles || plain.Uops != observed.Uops || plain.Restarts != observed.Restarts {
+				t.Fatalf("observation perturbed the run: %d/%d/%d vs %d/%d/%d",
+					plain.Cycles, plain.Uops, plain.Restarts, observed.Cycles, observed.Uops, observed.Restarts)
+			}
+			if plain.Metrics != observed.Metrics {
+				t.Fatalf("observation perturbed the metric set:\n--- plain ---\n%s\n--- observed ---\n%s",
+					plain.Metrics.String(), observed.Metrics.String())
+			}
+		})
 	}
 }
 

@@ -201,12 +201,23 @@ func filterUops(list []*dynUop, squashBelow uint64) []*dynUop {
 // coherence port. A snoop invalidates the line and searches the (secondary)
 // load buffer; any hit is a multiprocessor ordering violation and execution
 // restarts from the oldest matching load's checkpoint (Section 3).
+//
+// The arrival coin is drawn exactly once per cycle when snoops are enabled
+// — the cycle-skip fast-forward (skip.go) relies on that to replay the RNG
+// draw-for-draw across skipped cycles. When applySkip already drew this
+// cycle's coin (and it came up heads) it sets pendingSnoopFire; the snoop
+// then fires without drawing again, keeping the RNG stream bit-identical
+// to a fully stepped run.
 func (c *Core) injectSnoops() {
-	if !c.cfg.SnoopsEnabled || c.prof.SnoopPer1KCycles <= 0 {
-		return
-	}
-	if !c.snoopRNG.Bool(c.prof.SnoopPer1KCycles / 1000.0) {
-		return
+	if c.pendingSnoopFire {
+		c.pendingSnoopFire = false
+	} else {
+		if !c.cfg.SnoopsEnabled || c.prof.SnoopPer1KCycles <= 0 {
+			return
+		}
+		if !c.snoopRNG.Bool(c.prof.SnoopPer1KCycles / 1000.0) {
+			return
+		}
 	}
 	var addr uint64
 	if c.snoopRNG.Bool(0.5) {

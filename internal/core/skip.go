@@ -1,0 +1,411 @@
+package core
+
+import "srlproc/internal/obs"
+
+// Event-driven cycle skipping (DESIGN.md §11).
+//
+// The latency-tolerant designs spend long stretches inside a miss shadow
+// doing nothing but ticking c.cycle: every queue blocked, every scheduler
+// empty of issuable work, the only per-cycle effect a handful of linear
+// "stall/occupancy cycles" counters. This file fast-forwards those gaps
+// while staying bit-for-bit identical to plain stepping, by construction:
+//
+//  1. Arm. After a real cycle, compute the next interesting cycle e — the
+//     earliest of the completion-heap head, an MSHR fill return, the SDB
+//     head's miss-return wake-up, the front-end redirect resume, the §6.5
+//     temporary-update retry, and the timeline sampler's next sample. If
+//     e is at least three cycles out, snapshot the machine fingerprint,
+//     the statistics, and the structure-activity counters.
+//  2. Probe. The next cycle runs for real — no behaviour is guessed.
+//  3. Verify. If the probe changed nothing except whitelisted linear
+//     per-cycle counters (the stall breakdown and the cycles-condition
+//     metrics), every cycle until e must repeat it exactly: the machine
+//     state is unchanged, every cycle-gated branch in the step functions
+//     compares c.cycle against one of the enumerated event thresholds
+//     (all >= e), and the only RNG consumer on a quiescent cycle is the
+//     snoop coin, which applySkip replays draw-for-draw.
+//  4. Jump. Extrapolate the probe's whitelisted deltas across the gap
+//     and set c.cycle = e-1, so the next real step lands exactly on e.
+//
+// If verification fails — any counter outside the whitelist moved, any
+// structure changed length, any fingerprint field differs — the probe was
+// just a normal cycle and stepping continues; nothing was skipped, so
+// nothing can be wrong. The golden design-point suite, the determinism
+// tests, the regression corpus and the oracle sweep all run with EventSkip
+// on and off and require byte-identical results (skip_test.go,
+// internal/check).
+
+// skipFP is the structural fingerprint of everything a quiescent cycle
+// must leave untouched. It is a plain comparable value: verification is
+// one struct compare. Lengths stand in for container contents — any
+// insert/remove path that could change contents without changing a length
+// here also moves an activity counter or a non-whitelisted statistic,
+// which verifySkip checks separately.
+type skipFP struct {
+	committed         uint64
+	lastCommittedSeq  uint64
+	storeCounter      uint64
+	fetchResume       uint64
+	tempUpdateStall   uint64
+	ckptSum           uint64
+	outstandingMisses int
+	loadsInWindow     int
+	storesInWindow    int
+	schedInt          int
+	schedFP           int
+	schedMem          int
+	regsInt           int
+	regsFP            int
+	unknownAddrStores int
+	readyLen          int
+	cmplLen           int
+	sdbLen            int
+	sdbCount          int
+	pendDrainLen      int
+	srlStalledLen     int
+	unknownStoresLen  int
+	deferredLen       int
+	winLen            int
+	replayPos         int
+	l1stqLen          int
+	l2stqLen          int
+	srlLen            int
+	ldbufLen          int
+	ckptsLen          int
+	nextCkptID        int
+	pendingFetch      bool
+	pendingSnoopFire  bool
+	forceShortCkpt    bool
+	measuring         bool
+	redoActive        bool
+}
+
+// skipResCount is the number of Results counters captured for
+// verification; the first skipResLinear of them must be exactly equal
+// across the probe, the rest (the per-cycle stall breakdown) are
+// whitelisted to advance linearly and are extrapolated across the gap.
+const (
+	skipResLinear = 17
+	skipResCount  = 24
+)
+
+// skipSnap is the armed snapshot the probe cycle is verified against.
+type skipSnap struct {
+	fp  skipFP
+	res [skipResCount]uint64
+	met obs.MetricSet
+	act activity
+}
+
+// skipState is the per-core skip engine, embedded by value in Core so the
+// steady state stays allocation-free.
+type skipState struct {
+	armed bool
+	// fails counts consecutive failed verifications and wait is the
+	// arming backoff they impose. Snapshot capture is several times the
+	// cost of one quiescent step, so arming every cycle of an active
+	// phase — where verification keeps failing — is a net loss; backing
+	// off exponentially (4..64 cycles) caps that overhead at a few
+	// percent while a long gap still gets armed within its first
+	// sliver. Backoff shapes only *when* a skip is attempted, never what
+	// a skip produces, so it cannot affect results.
+	fails uint32
+	wait  uint32
+	snap  skipSnap
+}
+
+// skipMinGap is the shortest event distance worth probing. A capture +
+// verify round costs roughly ten quiescent steps, so chasing the short
+// gaps between L1/L2 fill returns loses wall clock; the DRAM-latency miss
+// shadows the latency-tolerant designs create are hundreds of cycles and
+// carry the whole win.
+const skipMinGap = 16
+
+// skipMetricLinear marks the typed metrics a quiescent cycle advances
+// linearly (at most a fixed amount per cycle while the gating condition
+// holds): the cycles-condition occupancy metrics, the store-queue stall
+// mode counters, and the SRL drain/stall gating counters. Everything else
+// must stay exactly equal across the probe or the skip is vetoed — in
+// particular MetricSnoopsInjected, the temporary-update stall metrics and
+// the drain-conflict counters, all of which mark real one-off events.
+var skipMetricLinear = func() [obs.NumMetrics]bool {
+	var lin [obs.NumMetrics]bool
+	for _, m := range []obs.Metric{
+		obs.MetricCyclesMissOutstanding,
+		obs.MetricCyclesSRLNonEmpty,
+		obs.MetricCyclesSRLHeadReady,
+		obs.MetricSTQStallSRLMode,
+		obs.MetricSTQStallMissMode,
+		obs.MetricSTQStallQuiet,
+		obs.MetricSRLDrainWaitData,
+		obs.MetricSRLDrainWaitWAR,
+		obs.MetricSRLStallLoadCycles,
+	} {
+		lin[m] = true
+	}
+	return lin
+}()
+
+// skipFP captures the structural fingerprint. Every accessor here is pure
+// (no lazy pops, no counter bumps): c.sdb.Len() counts raw heap entries
+// rather than going through sdbHead, so capture itself perturbs nothing.
+func (c *Core) skipFPCapture() skipFP {
+	fp := skipFP{
+		committed:         c.committed,
+		lastCommittedSeq:  c.lastCommittedSeq,
+		storeCounter:      c.storeCounter,
+		fetchResume:       c.fetchResume,
+		tempUpdateStall:   c.tempUpdateStall,
+		ckptSum:           c.ckptSumHash(),
+		outstandingMisses: c.outstandingMisses,
+		loadsInWindow:     c.loadsInWindow,
+		storesInWindow:    c.storesInWindow,
+		schedInt:          c.schedInt,
+		schedFP:           c.schedFP,
+		schedMem:          c.schedMem,
+		regsInt:           c.regsInt,
+		regsFP:            c.regsFP,
+		unknownAddrStores: c.unknownAddrStores,
+		readyLen:          c.ready.Len(),
+		cmplLen:           c.cmpl.Len(),
+		sdbLen:            c.sdb.Len(),
+		sdbCount:          c.sdbCount,
+		pendDrainLen:      len(c.pendDrain),
+		srlStalledLen:     len(c.srlStalled),
+		unknownStoresLen:  len(c.unknownStores),
+		deferredLen:       len(c.deferred),
+		winLen:            c.win.len(),
+		replayPos:         c.replayPos,
+		l1stqLen:          c.l1stq.Len(),
+		srlLen:            c.srlLen(),
+		ldbufLen:          c.ldbuf.Len(),
+		ckptsLen:          len(c.ckpts),
+		nextCkptID:        c.nextCkptID,
+		pendingFetch:      c.pendingFetch != nil,
+		pendingSnoopFire:  c.pendingSnoopFire,
+		forceShortCkpt:    c.forceShortCkpt,
+		measuring:         c.measuring,
+		redoActive:        c.redoActive,
+	}
+	if c.l2stq != nil {
+		fp.l2stqLen = c.l2stq.Len()
+	}
+	return fp
+}
+
+// ckptSumHash folds the mutable per-checkpoint bookkeeping (id, closed,
+// allocated/pending uop counts, start sequence) into one word, so a probe
+// that only closed a checkpoint — maybeCloseCkptOnStall's one-shot — still
+// vetoes the skip.
+func (c *Core) ckptSumHash() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h = (h ^ v) * 0x9E3779B97F4A7C15
+	}
+	for _, ck := range c.ckpts {
+		mix(uint64(ck.id))
+		if ck.closed {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(uint64(ck.uops))
+		mix(uint64(ck.pending))
+		mix(ck.startSeq)
+	}
+	return h
+}
+
+// skipResCapture snapshots the Results counters verification cares about.
+// Indices < skipResLinear must be equal across the probe; the tail is the
+// per-cycle stall breakdown, whitelisted for linear extrapolation.
+func (c *Core) skipResCapture() [skipResCount]uint64 {
+	r := &c.res
+	return [skipResCount]uint64{
+		r.Loads, r.Stores,
+		r.MissDependentUops, r.MissDependentStores,
+		r.RedoneStores, r.SRLLoadStalls, r.IndexedForwards,
+		r.L1STQForwards, r.L2STQForwards, r.FCForwards,
+		r.MemDepViolations, r.SnoopViolations, r.OverflowViolations,
+		r.BranchMispredicts, r.Restarts, r.ReplayedUops,
+		r.SpecDiscards,
+		// Linear tail (order matches addSkipDeltas).
+		r.StallSTQ, r.StallLQ, r.StallSched, r.StallRegs,
+		r.StallCkpt, r.StallWindow, r.StallSDB,
+	}
+}
+
+// nextEventCycle returns the earliest future cycle at which the machine
+// can do something a quiescent cycle does not: pop a completion, see a
+// memory fill return, wake the SDB head, resume the front end after a
+// redirect, retry a §6.5 temporary update, or take a timeline sample.
+// These are exactly the c.cycle comparisons the step functions make; any
+// behaviour not gated by one of them is caught by the probe instead.
+//
+// Any event before the horizon makes a skip pointless, so the sources are
+// consulted cheapest-first and the walk aborts (ok=false) on the first
+// near event. In active phases the completion heap almost always has a
+// near head, so this runs per cycle without ever touching the MSHR map.
+func (c *Core) nextEventCycle(horizon uint64) (e uint64, ok bool) {
+	best := ^uint64(0)
+	// consider folds one event in; false means the event is inside the
+	// horizon and the caller must bail.
+	consider := func(ev uint64) bool {
+		if ev <= c.cycle {
+			return true // already due; gating logic handles it each step
+		}
+		if ev < horizon {
+			return false
+		}
+		if ev < best {
+			best = ev
+		}
+		return true
+	}
+	if c.cmpl.Len() > 0 {
+		k, _ := c.cmpl.Min()
+		if !consider(k) {
+			return 0, false
+		}
+	}
+	if !consider(c.fetchResume) {
+		return 0, false
+	}
+	if !consider(c.tempUpdateStall) {
+		return 0, false
+	}
+	if c.obsrv != nil && c.obsrv.nextSample != ^uint64(0) {
+		if !consider(c.obsrv.nextSample) {
+			return 0, false
+		}
+	}
+	if d := c.sdbHead(); d != nil && d.missReturn > 0 {
+		if !consider(d.missReturn) {
+			return 0, false
+		}
+	}
+	if f, fok := c.mem.EarliestPendingFill(c.cycle); fok {
+		if !consider(f) {
+			return 0, false
+		}
+	}
+	return best, best != ^uint64(0)
+}
+
+// maybeSkip runs after every real cycle when Config.EventSkip is set: it
+// verifies and applies an armed skip, then re-arms for the next gap when
+// the next event is far enough out to be worth a probe.
+func (c *Core) maybeSkip() {
+	if c.skip.armed {
+		c.skip.armed = false
+		if c.verifySkip() {
+			c.applySkip()
+			c.skip.fails = 0
+		} else {
+			if c.skip.fails < 4 {
+				c.skip.fails++
+			}
+			c.skip.wait = 1 << (c.skip.fails + 1)
+		}
+	}
+	if c.skip.wait > 0 {
+		c.skip.wait--
+		return
+	}
+	if c.pendingSnoopFire {
+		// The fast-forward already drew a snoop arrival for the next
+		// cycle; it will be anything but quiescent.
+		return
+	}
+	// Compute the event before capturing the snapshot: sdbHead may lazily
+	// pop squashed heap tops, and those pops must land inside the
+	// captured fingerprint, not between it and the probe.
+	if _, ok := c.nextEventCycle(c.cycle + skipMinGap); !ok {
+		return
+	}
+	c.skip.snap.fp = c.skipFPCapture()
+	c.skip.snap.res = c.skipResCapture()
+	c.skip.snap.met = c.metrics
+	c.skip.snap.act = c.snapshotActivity()
+	c.skip.armed = true
+}
+
+// verifySkip reports whether the probe cycle was quiescent: the
+// fingerprint and structure-activity counters are unchanged, every
+// non-whitelisted statistic is unchanged, and only the linear per-cycle
+// counters may have advanced.
+func (c *Core) verifySkip() bool {
+	s := &c.skip.snap
+	if c.skipFPCapture() != s.fp {
+		return false
+	}
+	if c.snapshotActivity() != s.act {
+		return false
+	}
+	cur := c.skipResCapture()
+	for i := 0; i < skipResLinear; i++ {
+		if cur[i] != s.res[i] {
+			return false
+		}
+	}
+	for m, v := range c.metrics {
+		if !skipMetricLinear[m] && v != s.met[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// applySkip jumps from a verified-quiescent probe cycle to just before
+// the next event, extrapolating the probe's whitelisted per-cycle deltas
+// across the gap. The event is recomputed fresh rather than trusted from
+// arm time (the probe may have moved it), and the snoop RNG is replayed
+// one draw per skipped cycle: if a draw comes up heads, the jump stops
+// just before that cycle and pendingSnoopFire makes injectSnoops consume
+// the already-drawn coin when the cycle runs for real.
+func (c *Core) applySkip() {
+	e, ok := c.nextEventCycle(c.cycle + 2)
+	if !ok {
+		return
+	}
+	w := e - 1 - c.cycle
+	if c.cfg.SnoopsEnabled && c.prof.SnoopPer1KCycles > 0 {
+		p := c.prof.SnoopPer1KCycles / 1000.0
+		for done := uint64(0); done < w; done++ {
+			if c.snoopRNG.Bool(p) {
+				c.addSkipDeltas(done)
+				c.cycle += done
+				c.pendingSnoopFire = true
+				return
+			}
+		}
+	}
+	c.addSkipDeltas(w)
+	c.cycle += w
+}
+
+// addSkipDeltas accumulates w more copies of the probe cycle's whitelisted
+// deltas: the stall breakdown and the linear cycles-condition metrics.
+// Everything else was verified unchanged, and the occupancy trackers need
+// nothing — stats.OccupancyTracker.Set accrues (cycle - lastCycle) at the
+// last level, so the next real Set call accounts the gap exactly as
+// per-cycle calls at an unchanged level would have.
+func (c *Core) addSkipDeltas(w uint64) {
+	if w == 0 {
+		return
+	}
+	s := &c.skip.snap
+	r := &c.res
+	r.StallSTQ += (r.StallSTQ - s.res[17]) * w
+	r.StallLQ += (r.StallLQ - s.res[18]) * w
+	r.StallSched += (r.StallSched - s.res[19]) * w
+	r.StallRegs += (r.StallRegs - s.res[20]) * w
+	r.StallCkpt += (r.StallCkpt - s.res[21]) * w
+	r.StallWindow += (r.StallWindow - s.res[22]) * w
+	r.StallSDB += (r.StallSDB - s.res[23]) * w
+	for m, lin := range skipMetricLinear {
+		if lin {
+			c.metrics[m] += (c.metrics[m] - s.met[m]) * w
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"srlproc/internal/obs"
+	"srlproc/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_points.json")
+
+// runSkipVariant runs cfg/suite with EventSkip forced to the given value
+// and returns the marshaled Results document. Identity tests must build
+// cores directly (New + RunContext): EventSkip is normalized out of the
+// fingerprint, so going through the sweep/memo layers would hand both
+// variants the same cached result and prove nothing.
+func runSkipVariant(t testing.TB, cfg Config, suite trace.Suite, skip bool) (*Results, []byte) {
+	t.Helper()
+	cfg.EventSkip = skip
+	c, err := New(cfg, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, b
+}
+
+// skipIdentityPoints is the design-point matrix the skip-identity and
+// golden tests share: every store organisation (plus the no-LCF SRL
+// ablation) crossed with three workload suites — 18 points.
+func skipIdentityPoints() []struct {
+	Name  string
+	Cfg   Config
+	Suite trace.Suite
+} {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"baseline", shortCfg(DesignBaseline)},
+		{"stq1024", func() Config {
+			c := shortCfg(DesignLargeSTQ)
+			c.STQSize = 1024
+			return c
+		}()},
+		{"hier", shortCfg(DesignHierarchical)},
+		{"srl", shortCfg(DesignSRL)},
+		{"filtered", shortCfg(DesignFilteredSTQ)},
+		{"srl-nolcf", func() Config {
+			c := shortCfg(DesignSRL)
+			c.UseLCF = false
+			c.UseIndexedFwd = false
+			return c
+		}()},
+	}
+	suites := []trace.Suite{trace.SFP2K, trace.SINT2K, trace.WEB}
+	var pts []struct {
+		Name  string
+		Cfg   Config
+		Suite trace.Suite
+	}
+	for _, cc := range configs {
+		for _, su := range suites {
+			pts = append(pts, struct {
+				Name  string
+				Cfg   Config
+				Suite trace.Suite
+			}{fmt.Sprintf("%s/%s", cc.name, su), cc.cfg, su})
+		}
+	}
+	return pts
+}
+
+// TestSkipIdentityGoldenPoints is the bit-for-bit gate for event-driven
+// cycle skipping: every golden design point must produce a byte-identical
+// Results document with EventSkip on and off, and both must match the
+// checked-in golden (regenerate with `go test ./internal/core -update`).
+func TestSkipIdentityGoldenPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep skipped in -short mode")
+	}
+	goldenPath := filepath.Join("testdata", "golden_points.json")
+	golden := map[string]json.RawMessage{}
+	if !*updateGolden {
+		b, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden file (run go test ./internal/core -update): %v", err)
+		}
+		if err := json.Unmarshal(b, &golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := map[string]json.RawMessage{}
+	for _, pt := range skipIdentityPoints() {
+		pt := pt
+		t.Run(pt.Name, func(t *testing.T) {
+			_, skipped := runSkipVariant(t, pt.Cfg, pt.Suite, true)
+			_, stepped := runSkipVariant(t, pt.Cfg, pt.Suite, false)
+			if string(skipped) != string(stepped) {
+				t.Fatalf("EventSkip changed the Results document\n--- skip ---\n%s\n--- step ---\n%s", skipped, stepped)
+			}
+			fresh[pt.Name] = skipped
+			if !*updateGolden {
+				want, ok := golden[pt.Name]
+				if !ok {
+					t.Fatalf("point %s missing from %s (run -update)", pt.Name, goldenPath)
+				}
+				// The golden file stores each document re-indented;
+				// compare compacted forms.
+				var wantC bytes.Buffer
+				if err := json.Compact(&wantC, want); err != nil {
+					t.Fatal(err)
+				}
+				if wantC.String() != string(skipped) {
+					t.Fatalf("drifted from golden\n--- got ---\n%s\n--- want ---\n%s", skipped, wantC.String())
+				}
+			}
+		})
+	}
+	if *updateGolden && !t.Failed() {
+		b, err := json.MarshalIndent(fresh, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d points)", goldenPath, len(fresh))
+	}
+}
+
+// TestSkipIdentityObserved pins the stronger satellite guarantee: with the
+// timeline sampler and event trace enabled, the full obs.MetricSet and
+// every timeline sample — not just the top-level Results counters — are
+// identical with skipping on and off. The sampler's nextSample is a
+// first-class wake event, so observation changes skip decisions' timing
+// but never their outcomes.
+func TestSkipIdentityObserved(t *testing.T) {
+	for _, d := range []StoreDesign{DesignSRL, DesignHierarchical, DesignBaseline} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := shortCfg(d)
+			cfg.Obs = obs.DefaultConfig()
+			cfg.Obs.SampleEvery = 512
+			skipRes, skipJSON := runSkipVariant(t, cfg, trace.SFP2K, true)
+			stepRes, stepJSON := runSkipVariant(t, cfg, trace.SFP2K, false)
+
+			if skipRes.Metrics != stepRes.Metrics {
+				t.Errorf("MetricSet differs:\n--- skip ---\n%s\n--- step ---\n%s",
+					skipRes.Metrics.String(), stepRes.Metrics.String())
+			}
+			ss, ts := skipRes.Timeline.Samples(), stepRes.Timeline.Samples()
+			if len(ss) != len(ts) {
+				t.Fatalf("timeline length differs: %d vs %d samples", len(ss), len(ts))
+			}
+			for i := range ss {
+				if ss[i] != ts[i] {
+					t.Fatalf("timeline sample %d differs:\nskip: %+v\nstep: %+v", i, ss[i], ts[i])
+				}
+			}
+			if string(skipJSON) != string(stepJSON) {
+				t.Fatal("observed Results document differs between skip and step")
+			}
+		})
+	}
+}
+
+// TestSkipActuallySkips proves the fast path engages: every store design
+// spends stretches in miss shadows with the whole machine quiescent, so
+// the loop must take meaningfully fewer iterations than it simulates
+// cycles.
+func TestSkipActuallySkips(t *testing.T) {
+	for _, d := range []StoreDesign{DesignBaseline, DesignLargeSTQ, DesignHierarchical, DesignSRL} {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := shortCfg(d)
+			cfg.EventSkip = true
+			c, err := New(cfg, trace.SFP2K)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iters := uint64(0)
+			for !c.Done() {
+				c.StepCycle()
+				c.maybeSkip()
+				iters++
+			}
+			c.Finalize()
+			if iters >= c.cycle {
+				t.Fatalf("nothing skipped: %d iterations for %d cycles", iters, c.cycle)
+			}
+			t.Logf("%d cycles in %d iterations (%.1f%% skipped)",
+				c.cycle, iters, 100*float64(c.cycle-iters)/float64(c.cycle))
+		})
+	}
+}
+
+// TestSkipDeterminism: two skip-enabled runs of the same point must be
+// byte-identical (the skip engine holds no hidden nondeterminism).
+func TestSkipDeterminism(t *testing.T) {
+	cfg := shortCfg(DesignSRL)
+	_, a := runSkipVariant(t, cfg, trace.SFP2K, true)
+	_, b := runSkipVariant(t, cfg, trace.SFP2K, true)
+	if string(a) != string(b) {
+		t.Fatal("skip-enabled run is not deterministic")
+	}
+}
+
+// TestRunContextCancelledMidSkip: cancellation latency must stay
+// wall-clock bounded when single loop iterations cover thousands of
+// simulated cycles — the ctx poll counts iterations, not cycles.
+func TestRunContextCancelledMidSkip(t *testing.T) {
+	cfg := DefaultConfig(DesignSRL)
+	cfg.WarmupUops = 0
+	cfg.RunUops = 50_000_000 // far longer than the test will allow
+	cfg.EventSkip = true
+	c, err := New(cfg, trace.SFP2K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := c.RunContext(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want wrapped context.Canceled, got %v (res=%v)", err, res)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v", d)
+	}
+}
+
+// TestFingerprintIgnoresEventSkip: skipping is identity-preserving, so a
+// skipped and a stepped run of the same point must share memoized and
+// persisted results.
+func TestFingerprintIgnoresEventSkip(t *testing.T) {
+	a := DefaultConfig(DesignSRL)
+	b := DefaultConfig(DesignSRL)
+	a.EventSkip = true
+	b.EventSkip = false
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("EventSkip leaked into the config fingerprint")
+	}
+	if PointFingerprint(a, trace.SFP2K) != PointFingerprint(b, trace.SFP2K) {
+		t.Fatal("EventSkip leaked into the point fingerprint")
+	}
+}

@@ -63,16 +63,27 @@ func TestSmokeAllSuitesSRL(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	run := func() *Results {
-		c, err := New(shortCfg(DesignSRL), trace.SFP2K)
-		if err != nil {
-			t.Fatal(err)
+	for _, skip := range []bool{true, false} {
+		skip := skip
+		name := "skip"
+		if !skip {
+			name = "step"
 		}
-		return c.Run()
-	}
-	a, b := run(), run()
-	if a.Cycles != b.Cycles || a.Uops != b.Uops || a.Restarts != b.Restarts {
-		t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)",
-			a.Cycles, a.Uops, a.Restarts, b.Cycles, b.Uops, b.Restarts)
+		t.Run(name, func(t *testing.T) {
+			run := func() *Results {
+				cfg := shortCfg(DesignSRL)
+				cfg.EventSkip = skip
+				c, err := New(cfg, trace.SFP2K)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c.Run()
+			}
+			a, b := run(), run()
+			if a.Cycles != b.Cycles || a.Uops != b.Uops || a.Restarts != b.Restarts {
+				t.Fatalf("non-deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+					a.Cycles, a.Uops, a.Restarts, b.Cycles, b.Uops, b.Restarts)
+			}
+		})
 	}
 }
