@@ -3,7 +3,7 @@
 # sweep engine's worker pool is the default execution path for every
 # experiment. Run both before merging.
 
-.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz serve serve-smoke cluster-smoke clean-store
+.PHONY: tier1 verify lint bench bench-json bench-smoke fuzz serve serve-smoke cluster-smoke clean-store paper paper-quick paper-smoke
 
 tier1:
 	go build ./... && go test ./...
@@ -74,6 +74,26 @@ serve-smoke:
 # one worker mid-sweep and relies on re-dispatch.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# Reproduce the paper: execute the experiment grid
+# (scripts/paper/experiments.json) into paper_runs/<stamp>/ with validated
+# CSVs, summary stats, Markdown/LaTeX tables, SVG plots and a report.md,
+# then check repeats byte-compare and headline metrics sit inside
+# scripts/paper/expectations.json. `paper-quick` is the CI-smoke scale
+# (~30s); `paper` is the full-scale run behind the paper's numbers. Both
+# warm-start from (and populate) the persistent store at PAPERSTORE.
+PAPERSTORE ?= .srlproc-paper-store
+paper:
+	go run ./cmd/paperrepro -profile full -check -store-dir $(PAPERSTORE)
+
+paper-quick:
+	go run ./cmd/paperrepro -profile quick -check -store-dir $(PAPERSTORE)
+
+# End-to-end pipeline smoke test, mirrored by the CI paper-smoke job: two
+# quick-profile runs over one store must both pass -check and produce
+# byte-identical csv/ and analysis/ trees.
+paper-smoke:
+	./scripts/paper_smoke.sh
 
 # Budgeted differential-oracle run (see internal/check): the seeded-bug and
 # regression-trace tests, the full-scale oracle sweep over every Figure 2/6

@@ -45,6 +45,29 @@ import (
 	"srlproc/internal/trace"
 )
 
+// presentationOrder is the report's experiment order (Table 3 sits
+// between Figures 6 and 7, unlike the ExperimentID declaration order).
+// The run loop and the -only help text both derive from it, so the help
+// can never drift from what the command actually accepts.
+var presentationOrder = []bench.ExperimentID{
+	bench.Fig2, bench.Fig6, bench.Table3, bench.Fig7, bench.Fig8,
+	bench.Fig9, bench.Fig10, bench.Energy, bench.Latency,
+}
+
+// cliOnlySections are the -only selections that are rendered report
+// sections rather than sweepable experiments.
+var cliOnlySections = []string{"table1", "table2", "power"}
+
+// onlyHelp builds the -only flag's help text from the real selection sets.
+func onlyHelp() string {
+	names := []string{cliOnlySections[0], cliOnlySections[1]}
+	for _, id := range presentationOrder {
+		names = append(names, id.String())
+	}
+	names = append(names, cliOnlySections[2])
+	return "run only one experiment: " + strings.Join(names, ",")
+}
+
 // main delegates to run so that deferred cleanup — most importantly the
 // signal.NotifyContext stop function — executes on every return path.
 // os.Exit and log.Fatal inside run would skip those defers.
@@ -55,7 +78,7 @@ func run() int {
 	uops := flag.Uint64("uops", 0, "override measured micro-ops per point")
 	warm := flag.Uint64("warmup", 0, "override warmup micro-ops per point")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	only := flag.String("only", "", "run only one experiment: table1,table2,fig2,fig6,table3,fig7,fig8,fig9,fig10,energy,latency,power")
+	only := flag.String("only", "", onlyHelp())
 	figure := flag.Int("figure", 0, "run only one figure by number (2,6,7,8,9,10); shorthand for -only figN")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = one per CPU, 1 = serial)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (e.g. 10m); 0 = no limit")
@@ -92,11 +115,11 @@ func run() int {
 	// rendered sections, not sweepable experiments, and stay CLI-only.
 	if *only != "" {
 		switch *only {
-		case "table1", "table2", "power":
+		case cliOnlySections[0], cliOnlySections[1], cliOnlySections[2]:
 		default:
 			id, err := bench.ParseExperimentID(*only)
 			if err != nil {
-				return usage("%v (or a CLI-only section: table1, table2, power)", err)
+				return usage("%v (or a CLI-only section: %s)", err, strings.Join(cliOnlySections, ", "))
 			}
 			*only = id.String()
 		}
@@ -257,13 +280,9 @@ func run() int {
 		}
 		return cli.OK
 	}
-	// Every experiment dispatches through bench.RunExperiment; the order is
-	// the report's presentation order (Table 3 between Figures 6 and 7),
-	// not the ExperimentID declaration order.
-	for _, id := range []bench.ExperimentID{
-		bench.Fig2, bench.Fig6, bench.Table3, bench.Fig7, bench.Fig8,
-		bench.Fig9, bench.Fig10, bench.Energy, bench.Latency,
-	} {
+	// Every experiment dispatches through bench.RunExperiment, in
+	// presentation order.
+	for _, id := range presentationOrder {
 		id := id
 		f := func(ctx context.Context, o bench.Options) (fmt.Stringer, error) {
 			r, err := bench.RunExperiment(ctx, id, o)

@@ -225,8 +225,14 @@ func speedupPlan(id ExperimentID, o Options, title string, baseline core.Config,
 	for _, lc := range labeled {
 		cfgs[lc.Label] = o.apply(lc.Cfg)
 	}
+	header := []string{"suite"}
+	for _, lc := range labeled {
+		header = append(header, lc.Label)
+	}
 	return &plan{
-		points: matrixPoints(cfgs),
+		points:    matrixPoints(cfgs),
+		csvHeader: header,
+		csvRows:   len(trace.AllSuites()),
 		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
 			raw, err := matrixRaw(rep)
 			if err != nil {
@@ -383,6 +389,9 @@ func planTable3(o Options) *plan {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
 	return &plan{
 		points: matrixPoints(cfgs),
+		csvHeader: []string{"suite", "redone_stores_pct", "miss_dep_stores_pct",
+			"miss_dep_uops_pct", "srl_load_stalls_per_10k", "pct_time_srl_occupied"},
+		csvRows: len(trace.AllSuites()),
 		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
 			raw, err := matrixRaw(rep)
 			if err != nil {
@@ -458,8 +467,14 @@ func RunFigure7Context(ctx context.Context, o Options) (*Figure7Result, error) {
 
 func planFigure7(o Options) *plan {
 	cfgs := map[string]core.Config{"srl": o.apply(core.DefaultConfig(core.DesignSRL))}
+	header := []string{"suite"}
+	for _, th := range stats.Figure7Thresholds {
+		header = append(header, fmt.Sprintf("gt_%d", th))
+	}
 	return &plan{
-		points: matrixPoints(cfgs),
+		points:    matrixPoints(cfgs),
+		csvHeader: header,
+		csvRows:   len(trace.AllSuites()),
 		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
 			raw, err := matrixRaw(rep)
 			if err != nil {
@@ -620,11 +635,31 @@ func RunPowerArea() string {
 
 // --- Tables 1 and 2 (configuration echoes) ---
 
-// RenderTable1 prints the baseline machine configuration.
-func RenderTable1() string {
+// ConfigTable is a titled header+rows view of one configuration echo table
+// (Tables 1 and 2). The aligned-text renderers below consume it, and so do
+// renderers with other output grammars — the paper-artifact pipeline
+// (internal/paper) emits the same rows as Markdown and LaTeX.
+type ConfigTable struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// renderConfigTable renders a ConfigTable in the aligned-text format the
+// CLI has always printed.
+func renderConfigTable(ct ConfigTable) string {
+	t := stats.NewTable(ct.Title, ct.Headers...)
+	for _, r := range ct.Rows {
+		t.AddRow(r...)
+	}
+	return t.String()
+}
+
+// Table1 returns the baseline machine configuration as structured rows.
+func Table1() ConfigTable {
 	cfg := core.DefaultConfig(core.DesignSRL)
-	t := stats.NewTable("Table 1: baseline processor model", "Parameter", "Value")
-	add := func(k, v string) { t.AddRow(k, v) }
+	ct := ConfigTable{Title: "Table 1: baseline processor model", Headers: []string{"Parameter", "Value"}}
+	add := func(k, v string) { ct.Rows = append(ct.Rows, []string{k, v}) }
 	add("Processor frequency", "8 GHz (100ns memory = 800 cycles)")
 	add("Rename/issue/retire width", fmt.Sprintf("%d/%d/%d", cfg.AllocWidth, cfg.IssueWidth, cfg.RetireWidth))
 	add("Branch mispred. penalty", fmt.Sprintf("minimum %d cycles", cfg.MispredictPenalty))
@@ -640,18 +675,24 @@ func RenderTable1() string {
 	add("L2 unified cache", fmt.Sprintf("%d MB, %d cycles", cfg.Mem.L2Size/(1024*1024), cfg.Mem.L2Latency))
 	add("L1/L2 line size", "64 bytes")
 	add("Memory lat (req to use)", fmt.Sprintf("%d cycles (100 ns)", cfg.Mem.MemLatency))
-	return t.String()
+	return ct
+}
+
+// RenderTable1 prints the baseline machine configuration.
+func RenderTable1() string { return renderConfigTable(Table1()) }
+
+// Table2 returns the benchmark suite table as structured rows.
+func Table2() ConfigTable {
+	ct := ConfigTable{Title: "Table 2: benchmark suites", Headers: []string{"Suite", "# of Bench", "Desc./Examples"}}
+	for _, su := range trace.AllSuites() {
+		p := trace.ProfileFor(su)
+		ct.Rows = append(ct.Rows, []string{p.Name, fmt.Sprintf("%d", p.NumBench), p.Desc})
+	}
+	return ct
 }
 
 // RenderTable2 prints the benchmark suite table.
-func RenderTable2() string {
-	t := stats.NewTable("Table 2: benchmark suites", "Suite", "# of Bench", "Desc./Examples")
-	for _, su := range trace.AllSuites() {
-		p := trace.ProfileFor(su)
-		t.AddRow(p.Name, fmt.Sprintf("%d", p.NumBench), p.Desc)
-	}
-	return t.String()
-}
+func RenderTable2() string { return renderConfigTable(Table2()) }
 
 // --- Energy attribution (extension beyond the paper's static Section 6.2) ---
 
@@ -715,7 +756,9 @@ func planEnergy(o Options) *plan {
 		"srl":      o.apply(core.DefaultConfig(core.DesignSRL)),
 	}
 	return &plan{
-		points: matrixPoints(cfgs),
+		points:    matrixPoints(cfgs),
+		csvHeader: []string{"design", "suite", "nj_per_1k_uops", "cam_share_pct"},
+		csvRows:   len(cfgs) * len(trace.AllSuites()),
 		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
 			raw, err := matrixRaw(rep)
 			if err != nil {
@@ -851,7 +894,9 @@ func planLatencySweep(o Options, suite trace.Suite) *plan {
 		}
 	}
 	return &plan{
-		points: points,
+		points:    points,
+		csvHeader: []string{"suite", "design", "mem_latency", "ipc"},
+		csvRows:   len(points),
 		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
 			out := &LatencyResult{Suite: suite}
 			for i, id := range ids {

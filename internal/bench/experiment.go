@@ -210,6 +210,13 @@ func (r *ExperimentResult) MarshalJSON() ([]byte, error) {
 type plan struct {
 	points   []sweep.Point
 	assemble func(*sweep.Report) (*ExperimentResult, error)
+
+	// csvHeader and csvRows describe the experiment's WriteCSV form: the
+	// exact header fields and the number of data rows below them. They are
+	// filled by every plan constructor from the same labeled-config lists
+	// the assembly uses, so Shape never drifts from the real export.
+	csvHeader []string
+	csvRows   int
 }
 
 // experimentPlan builds the plan for one experiment under the given
@@ -269,6 +276,38 @@ func AssembleExperiment(id ExperimentID, o Options, rep *sweep.Report) (*Experim
 		return nil, fmt.Errorf("bench: %s report has %d points, want %d", id, len(rep.Points), len(p.points))
 	}
 	return p.assemble(rep)
+}
+
+// ExperimentShape describes the deterministic output structure of one
+// experiment under given options: how many simulation points it
+// enumerates, and the exact header fields plus data-row count of its
+// WriteCSV form. The paper-artifact pipeline (internal/paper) validates
+// every emitted CSV against this shape, so a truncated run or a schema
+// drift hard-fails instead of producing a silently short figure.
+type ExperimentShape struct {
+	// Points is the canonical simulation point count — len(ExperimentPoints).
+	Points int
+	// CSVHeader is the experiment's WriteCSV header, one entry per column
+	// (unquoted; WriteCSV applies CSV quoting where labels need it).
+	CSVHeader []string
+	// CSVRows is the number of data rows WriteCSV emits below the header.
+	CSVRows int
+}
+
+// Shape returns the experiment's output shape under the given options.
+// The shape depends only on the experiment's structure (labels, suites,
+// swept latencies), never on simulation scale: quick and full profiles
+// share identical shapes.
+func Shape(id ExperimentID, o Options) (ExperimentShape, error) {
+	p, err := experimentPlan(id, o)
+	if err != nil {
+		return ExperimentShape{}, err
+	}
+	return ExperimentShape{
+		Points:    len(p.points),
+		CSVHeader: p.csvHeader,
+		CSVRows:   p.csvRows,
+	}, nil
 }
 
 // RunExperiment runs one experiment of the paper's evaluation. It is the

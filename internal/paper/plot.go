@@ -1,0 +1,294 @@
+package paper
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Deterministic SVG renderers for the paper's figures: grouped bars for
+// the percent-speedup comparisons (Figures 2, 6, 8, 9, 10) and lines for
+// the occupancy distribution (Figure 7) and the latency-tolerance curves.
+// Same data in, same bytes out — the artifacts byte-compare across runs.
+//
+// Colors follow a validated categorical palette (fixed slot order — the
+// ordering is the colorblind-safety mechanism), marks are thin with
+// rounded data ends and 2px surface gaps, text stays in ink colors, and a
+// legend names every series.
+
+// seriesPalette is the categorical palette, light mode, in its validated
+// fixed order. Series take slots in order and never cycle; more series
+// than slots is a renderer error, not a generated hue.
+var seriesPalette = []string{
+	"#2a78d6", // blue
+	"#eb6834", // orange
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#e87ba4", // magenta
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+}
+
+// Chart chrome (light surface).
+const (
+	chartSurface = "#fcfcfb"
+	inkPrimary   = "#0b0b0b"
+	inkSecondary = "#52514e"
+	inkMuted     = "#898781"
+	gridHairline = "#e1e0d9"
+	axisBaseline = "#c3c2b7"
+	chartFont    = "system-ui, sans-serif"
+)
+
+// Series is one named data series over the chart's categories.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// chart geometry shared by both forms.
+const (
+	chartW      = 720
+	chartH      = 420
+	marginLeft  = 56
+	marginRight = 16
+	marginTop   = 64
+	marginBot   = 44
+)
+
+type canvas struct {
+	b strings.Builder
+}
+
+func (c *canvas) printf(format string, args ...any) {
+	fmt.Fprintf(&c.b, format, args...)
+}
+
+// num formats a coordinate deterministically.
+func num(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+// tickLabel formats an axis tick without trailing zeros.
+func tickLabel(v float64) string {
+	// Round tiny float noise off tick arithmetic before formatting.
+	r := math.Round(v*1e9) / 1e9
+	return strconv.FormatFloat(r, 'g', -1, 64)
+}
+
+// esc escapes text for SVG content and attributes.
+func esc(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}
+
+// yScale maps data values to pixel y, with nice ticks.
+type yScale struct {
+	min, max float64
+	ticks    []float64
+}
+
+// niceTicks picks a human-round tick step covering [lo, hi] with ~n lines.
+func niceTicks(lo, hi float64, n int) yScale {
+	if lo > 0 {
+		lo = 0 // bars and speedups anchor at zero
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch frac := raw / mag; {
+	case frac <= 1:
+		step = mag
+	case frac <= 2:
+		step = 2 * mag
+	case frac <= 5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	min := math.Floor(lo/step) * step
+	max := math.Ceil(hi/step) * step
+	var ticks []float64
+	for v := min; v <= max+step/2; v += step {
+		ticks = append(ticks, v)
+	}
+	return yScale{min: min, max: max, ticks: ticks}
+}
+
+func (s yScale) y(v float64) float64 {
+	plotH := float64(chartH - marginTop - marginBot)
+	return float64(marginTop) + plotH*(s.max-v)/(s.max-s.min)
+}
+
+// header renders the surface, title, y-axis caption, legend, gridlines
+// and tick labels common to both chart forms.
+func (c *canvas) header(title, yLabel string, series []Series, ys yScale) {
+	c.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="%s">`+"\n",
+		chartW, chartH, chartW, chartH, chartFont)
+	c.printf(`<rect width="%d" height="%d" fill="%s"/>`+"\n", chartW, chartH, chartSurface)
+	c.printf(`<text x="%d" y="22" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		marginLeft, inkPrimary, esc(title))
+	if yLabel != "" {
+		c.printf(`<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`+"\n",
+			marginLeft, marginTop-10, inkMuted, esc(yLabel))
+	}
+	// Legend: always present for two or more series; a single series is
+	// named by the title.
+	if len(series) > 1 {
+		x := marginLeft
+		for i, s := range series {
+			c.printf(`<rect x="%d" y="34" width="10" height="10" rx="2" fill="%s"/>`+"\n", x, seriesPalette[i])
+			c.printf(`<text x="%d" y="43" font-size="11" fill="%s">%s</text>`+"\n", x+14, inkSecondary, esc(s.Label))
+			x += 14 + 7*len(s.Label) + 18
+		}
+	}
+	// Gridlines + tick labels.
+	for _, t := range ys.ticks {
+		y := ys.y(t)
+		stroke := gridHairline
+		if t == 0 {
+			stroke = axisBaseline
+		}
+		c.printf(`<line x1="%d" y1="%s" x2="%d" y2="%s" stroke="%s" stroke-width="1"/>`+"\n",
+			marginLeft, num(y), chartW-marginRight, num(y), stroke)
+		c.printf(`<text x="%d" y="%s" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, num(y+4), inkMuted, tickLabel(t))
+	}
+}
+
+func (c *canvas) close() []byte {
+	c.b.WriteString("</svg>\n")
+	return []byte(c.b.String())
+}
+
+// checkSeries validates series shape against the palette and categories.
+func checkSeries(categories []string, series []Series) error {
+	if len(series) == 0 || len(categories) == 0 {
+		return fmt.Errorf("paper: empty chart")
+	}
+	if len(series) > len(seriesPalette) {
+		return fmt.Errorf("paper: %d series exceed the %d-slot palette; fold or facet instead",
+			len(series), len(seriesPalette))
+	}
+	for _, s := range series {
+		if len(s.Values) != len(categories) {
+			return fmt.Errorf("paper: series %q has %d values for %d categories", s.Label, len(s.Values), len(categories))
+		}
+	}
+	return nil
+}
+
+// GroupedBarSVG renders categories on the x axis with one bar per series
+// in each group: the paper's speedup-comparison form (suites × designs).
+func GroupedBarSVG(title, yLabel string, categories []string, series []Series) ([]byte, error) {
+	if err := checkSeries(categories, series); err != nil {
+		return nil, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	ys := niceTicks(lo, hi, 5)
+	var c canvas
+	c.header(title, yLabel, series, ys)
+
+	plotW := float64(chartW - marginLeft - marginRight)
+	slot := plotW / float64(len(categories))
+	const gap = 2.0 // surface gap between adjacent bars in a group
+	groupW := slot * 0.7
+	barW := (groupW - gap*float64(len(series)-1)) / float64(len(series))
+	y0 := ys.y(0)
+	for ci, cat := range categories {
+		x0 := float64(marginLeft) + slot*float64(ci) + (slot-groupW)/2
+		for si, s := range series {
+			x := x0 + float64(si)*(barW+gap)
+			c.barPath(x, barW, y0, ys.y(s.Values[ci]), seriesPalette[si])
+		}
+		c.printf(`<text x="%s" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			num(float64(marginLeft)+slot*(float64(ci)+0.5)), chartH-marginBot+18, inkMuted, esc(cat))
+	}
+	return c.close(), nil
+}
+
+// barPath draws one bar from the zero baseline to yv with a rounded data
+// end (the end away from the baseline).
+func (c *canvas) barPath(x, w, y0, yv float64, fill string) {
+	r := math.Min(4, w/2)
+	up := yv <= y0 // positive value: bar grows upward
+	top, bot := yv, y0
+	if !up {
+		top, bot = y0, yv
+	}
+	if h := bot - top; h < r {
+		r = h
+	}
+	var d string
+	if up {
+		d = fmt.Sprintf("M%s %s L%s %s Q%s %s %s %s L%s %s Q%s %s %s %s L%s %s Z",
+			num(x), num(bot), num(x), num(top+r),
+			num(x), num(top), num(x+r), num(top),
+			num(x+w-r), num(top), num(x+w), num(top), num(x+w), num(top+r),
+			num(x+w), num(bot))
+	} else {
+		d = fmt.Sprintf("M%s %s L%s %s Q%s %s %s %s L%s %s Q%s %s %s %s L%s %s Z",
+			num(x), num(top), num(x), num(bot-r),
+			num(x), num(bot), num(x+r), num(bot),
+			num(x+w-r), num(bot), num(x+w), num(bot), num(x+w), num(bot-r),
+			num(x+w), num(top))
+	}
+	c.printf(`<path d="%s" fill="%s"/>`+"\n", d, fill)
+}
+
+// LineSVG renders one 2px line per series over ordered x categories with
+// ringed markers: the occupancy-distribution and latency-tolerance form.
+func LineSVG(title, yLabel string, xLabels []string, series []Series) ([]byte, error) {
+	if err := checkSeries(xLabels, series); err != nil {
+		return nil, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	ys := niceTicks(lo, hi, 5)
+	var c canvas
+	c.header(title, yLabel, series, ys)
+
+	plotW := float64(chartW - marginLeft - marginRight)
+	xAt := func(i int) float64 {
+		if len(xLabels) == 1 {
+			return float64(marginLeft) + plotW/2
+		}
+		return float64(marginLeft) + plotW*float64(i)/float64(len(xLabels)-1)
+	}
+	for i, lab := range xLabels {
+		c.printf(`<text x="%s" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`+"\n",
+			num(xAt(i)), chartH-marginBot+18, inkMuted, esc(lab))
+	}
+	for si, s := range series {
+		var pts []string
+		for i, v := range s.Values {
+			pts = append(pts, num(xAt(i))+","+num(ys.y(v)))
+		}
+		c.printf(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
+			strings.Join(pts, " "), seriesPalette[si])
+		// Markers with a 2px surface ring so overlapping series separate.
+		for i, v := range s.Values {
+			c.printf(`<circle cx="%s" cy="%s" r="4" fill="%s" stroke="%s" stroke-width="2"/>`+"\n",
+				num(xAt(i)), num(ys.y(v)), seriesPalette[si], chartSurface)
+		}
+	}
+	return c.close(), nil
+}

@@ -1,0 +1,127 @@
+package paper
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"srlproc/internal/bench"
+)
+
+var (
+	plotCats   = []string{"SFP2K", "WEB", "MM"}
+	plotSeries = []Series{
+		{Label: "srl", Values: []float64{12.5, -3.2, 0}},
+		{Label: "hier", Values: []float64{8.1, 2.4, 5.5}},
+	}
+)
+
+func TestGroupedBarSVG(t *testing.T) {
+	svg, err := GroupedBarSVG("Figure X", "% speedup", plotCats, plotSeries)
+	if err != nil {
+		t.Fatalf("GroupedBarSVG: %v", err)
+	}
+	again, err := GroupedBarSVG("Figure X", "% speedup", plotCats, plotSeries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(svg, again) {
+		t.Error("renderer is not deterministic")
+	}
+	s := string(svg)
+	for _, want := range []string{
+		"<svg xmlns=", "Figure X", "% speedup",
+		">srl</text>", ">hier</text>", // legend labels (two series)
+		seriesPalette[0], seriesPalette[1],
+		">SFP2K</text>", ">WEB</text>", ">MM</text>",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(s, "<path "); got != len(plotCats)*len(plotSeries) {
+		t.Errorf("%d bars, want %d", got, len(plotCats)*len(plotSeries))
+	}
+}
+
+func TestLineSVG(t *testing.T) {
+	svg, err := LineSVG("Latency", "IPC", []string{"200", "400", "800"}, plotSeries)
+	if err != nil {
+		t.Fatalf("LineSVG: %v", err)
+	}
+	s := string(svg)
+	if got := strings.Count(s, "<polyline "); got != len(plotSeries) {
+		t.Errorf("%d polylines, want %d", got, len(plotSeries))
+	}
+	if got := strings.Count(s, "<circle "); got != 6 {
+		t.Errorf("%d markers, want 6", got)
+	}
+}
+
+func TestSingleSeriesHasNoLegend(t *testing.T) {
+	svg, err := GroupedBarSVG("Solo", "", plotCats, plotSeries[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The title names a single series; a legend swatch row would be noise.
+	if strings.Contains(string(svg), `y="34" width="10"`) {
+		t.Error("single-series chart rendered a legend")
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	over := make([]Series, len(seriesPalette)+1)
+	for i := range over {
+		over[i] = Series{Label: fmt.Sprintf("s%d", i), Values: []float64{1}}
+	}
+	if _, err := GroupedBarSVG("t", "", []string{"a"}, over); err == nil {
+		t.Error("series beyond the palette must error, not cycle hues")
+	}
+	bad := []Series{{Label: "x", Values: []float64{1, 2}}}
+	if _, err := LineSVG("t", "", []string{"a"}, bad); err == nil {
+		t.Error("value/category count mismatch must error")
+	}
+	if _, err := GroupedBarSVG("t", "", nil, plotSeries); err == nil {
+		t.Error("empty chart must error")
+	}
+}
+
+// TestPlotExperimentForms drives the per-experiment chart dispatch with
+// synthetic CSV rows shaped like the real artifacts.
+func TestPlotExperimentForms(t *testing.T) {
+	fig := [][]string{{"SFP2K", "1", "2"}, {"WEB", "3", "4"}}
+	svg, err := plotExperiment(bench.Fig6, "Figure 6", []string{"suite", "srl", "hier"}, fig)
+	if err != nil || !strings.Contains(string(svg), "<path ") {
+		t.Errorf("fig6 bar form: err=%v", err)
+	}
+
+	occ := [][]string{{"SFP2K", "90", "10"}}
+	svg, err = plotExperiment(bench.Fig7, "Figure 7", []string{"suite", "gt_0", "gt_64"}, occ)
+	if err != nil || !strings.Contains(string(svg), "&gt;64") {
+		t.Errorf("fig7 line form: err=%v svg=%.120s", err, svg)
+	}
+
+	energy := [][]string{
+		{"srl", "SFP2K", "4.5", "60"}, {"srl", "WEB", "5.5", "61"},
+		{"hier", "SFP2K", "9.5", "80"}, {"hier", "WEB", "10.5", "81"},
+	}
+	svg, err = plotExperiment(bench.Energy, "Energy", []string{"design", "suite", "nj_per_1k_uops", "cam_share_pct"}, energy)
+	if err != nil || strings.Count(string(svg), "<path ") != 4 {
+		t.Errorf("energy pivot: err=%v", err)
+	}
+
+	lat := [][]string{
+		{"WEB", "srl", "200", "1.5"}, {"WEB", "srl", "400", "1.4"},
+		{"WEB", "hier", "200", "1.2"}, {"WEB", "hier", "400", "1.0"},
+	}
+	svg, err = plotExperiment(bench.Latency, "Latency", []string{"suite", "design", "mem_latency", "ipc"}, lat)
+	if err != nil || strings.Count(string(svg), "<polyline ") != 2 {
+		t.Errorf("latency pivot: err=%v", err)
+	}
+
+	svg, err = plotExperiment(bench.Table3, "t", nil, nil)
+	if err != nil || svg != nil {
+		t.Errorf("table3 must have no chart form: svg=%v err=%v", svg != nil, err)
+	}
+}

@@ -1,0 +1,298 @@
+package paper
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// e2eGrid runs the two cheapest experiments at unit-test scale: table3
+// exercises the table path, fig7 the line-plot path.
+const e2eGrid = `{
+  "repeats": 2,
+  "common": { "uops": 10000, "warmup": 2000, "seed": 1 },
+  "experiments": [ { "id": "table3" }, { "id": "fig7" } ]
+}`
+
+func runPipeline(t *testing.T, dir string, mutate func(*RunnerConfig)) *Manifest {
+	t.Helper()
+	g := mustParse(t, e2eGrid)
+	cfg := RunnerConfig{
+		Grid: g, GridBytes: []byte(e2eGrid), Profile: FullProfile,
+		Dir: dir, Stamp: "test",
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	m, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	m := runPipeline(t, dir, nil)
+
+	if len(m.Units) != 4 {
+		t.Fatalf("manifest has %d units, want 4", len(m.Units))
+	}
+	// Repeats share a seed on a deterministic simulator: identical digests.
+	if m.Units[0].SHA256 != m.Units[1].SHA256 {
+		t.Errorf("table3 repeats disagree: %s vs %s", m.Units[0].SHA256, m.Units[1].SHA256)
+	}
+	for _, f := range []string{
+		"manifest.json", "state.json", "experiments.json",
+		"csv/table3_r01.csv", "csv/table3_r02.json", "csv/fig7_r02.csv",
+		"logs/fig7_r01.log",
+	} {
+		if !fileExists(filepath.Join(dir, f)) {
+			t.Errorf("missing %s", f)
+		}
+	}
+
+	// Analysis over the finished run.
+	g := mustParse(t, e2eGrid)
+	aCfg := AnalyzeConfig{Grid: g, Profile: FullProfile, Dir: dir}
+	if err := Analyze(aCfg); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	for _, f := range []string{
+		"analysis/summary_runs.csv", "analysis/summary_grouped.csv",
+		"analysis/tables/table1.md", "analysis/tables/table1.tex",
+		"analysis/tables/table2.md", "analysis/tables/table3.md",
+		"analysis/plots/fig7.svg", "analysis/report.md",
+	} {
+		if !fileExists(filepath.Join(dir, f)) {
+			t.Errorf("missing %s", f)
+		}
+	}
+	if fileExists(filepath.Join(dir, "analysis/plots/table3.svg")) {
+		t.Error("table3 should render as a table, not a chart")
+	}
+
+	// Checks: repeats agree and a generous band on a table3 metric holds.
+	exp := &Expectations{Profiles: map[string][]MetricBand{
+		FullProfile: {
+			{Experiment: "table3", Column: "pct_time_srl_occupied", Min: 0, Max: 100},
+			{Experiment: "fig7", Match: map[string]string{"suite": "WEB"}, Column: "gt_0", Min: 0, Max: 100},
+		},
+	}}
+	units, _ := g.Plan(FullProfile, nil, 0)
+	results, err := Check(dir, units, exp, FullProfile)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(results) != 4 { // 2 repeat checks + 2 bands
+		t.Errorf("%d check results, want 4: %+v", len(results), results)
+	}
+	if !fileExists(filepath.Join(dir, "analysis/check.md")) {
+		t.Error("missing analysis/check.md")
+	}
+
+	// A violated band fails the check and names the row.
+	bad := &Expectations{Profiles: map[string][]MetricBand{
+		FullProfile: {{Experiment: "table3", Column: "pct_time_srl_occupied", Min: 1000, Max: 2000}},
+	}}
+	if _, err := Check(dir, units, bad, FullProfile); err == nil {
+		t.Error("out-of-band metric must fail the check")
+	}
+
+	// A band for an experiment outside the (e.g. -only restricted) plan is
+	// skipped, never failed.
+	partial := &Expectations{Profiles: map[string][]MetricBand{
+		FullProfile: {{Experiment: "fig6", Match: map[string]string{"suite": "SFP2K"}, Column: "SRL", Min: 0, Max: 100}},
+	}}
+	skipped, err := Check(dir, units, partial, FullProfile)
+	if err != nil {
+		t.Fatalf("Check with out-of-plan band: %v", err)
+	}
+	found := false
+	for _, r := range skipped {
+		if strings.HasPrefix(r.Name, "band/fig6/") {
+			found = true
+			if !r.Skip || !r.OK {
+				t.Errorf("out-of-plan band should skip, got %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no band/fig6 result in %+v", skipped)
+	}
+
+	// Resume: a second run over the same directory re-executes nothing.
+	m2 := runPipeline(t, dir, func(c *RunnerConfig) { c.Resume = true })
+	for _, u := range m2.Units {
+		if !u.Resumed {
+			t.Errorf("%s repeat %d re-ran despite completed state", u.Experiment, u.Repeat)
+		}
+	}
+	// Without -resume, an existing run directory refuses to restart.
+	g2 := mustParse(t, e2eGrid)
+	r, err := NewRunner(RunnerConfig{Grid: g2, GridBytes: []byte(e2eGrid), Profile: FullProfile, Dir: dir, Stamp: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err == nil {
+		t.Error("restarting a populated run dir without -resume must fail")
+	}
+
+	// Determinism: a fresh directory reproduces csv/ byte-for-byte.
+	dir2 := t.TempDir()
+	runPipeline(t, dir2, nil)
+	if err := Analyze(AnalyzeConfig{Grid: g, Profile: FullProfile, Dir: dir2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{
+		"csv/table3_r01.csv", "csv/fig7_r01.json",
+		"analysis/summary_grouped.csv", "analysis/plots/fig7.svg", "analysis/report.md",
+	} {
+		a, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir2, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s differs between identical runs", rel)
+		}
+	}
+}
+
+// TestPipelineServerMode points the runner at a stub /v1/sweep that sheds
+// the first request, and verifies the artifacts are byte-identical to the
+// in-process ones (the CSV is rendered from the document either way).
+func TestPipelineServerMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	localDir := t.TempDir()
+	runPipeline(t, localDir, nil)
+
+	docs := map[string][]byte{}
+	for _, id := range []string{"table3", "fig7"} {
+		doc, err := os.ReadFile(filepath.Join(localDir, "csv", id+"_r01.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs[id] = doc
+	}
+
+	shed := true
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep" || r.Method != http.MethodPost {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		if shed {
+			shed = false
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"overloaded","message":"shed","retry_after_ms":50}}`))
+			return
+		}
+		var req struct {
+			Experiment string `json:"experiment"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		doc, ok := docs[req.Experiment]
+		if !ok {
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":{"code":"bad_request","message":"unknown experiment"}}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Real srlserved streams the document through a json.Encoder,
+		// which appends a trailing newline; mimic that so the test pins
+		// the client-side normalization.
+		w.Write(doc)
+		w.Write([]byte("\n"))
+	}))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	runPipeline(t, dir, func(c *RunnerConfig) {
+		c.Server = srv.URL
+		c.Client = srv.Client()
+	})
+	for _, rel := range []string{"csv/table3_r01.csv", "csv/fig7_r01.csv", "csv/table3_r01.json"} {
+		a, err := os.ReadFile(filepath.Join(localDir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("%s: server-mode artifact differs from in-process", rel)
+		}
+	}
+}
+
+// TestServerModeErrorEnvelope surfaces the /v1 error envelope in failures.
+func TestServerModeErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"bad_request","message":"no such experiment"}}`))
+	}))
+	defer srv.Close()
+
+	g := mustParse(t, e2eGrid)
+	r, err := NewRunner(RunnerConfig{
+		Grid: g, GridBytes: []byte(e2eGrid), Profile: FullProfile,
+		Dir: t.TempDir(), Stamp: "test", Server: srv.URL, Client: srv.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "bad_request: no such experiment") {
+		t.Fatalf("error %v should carry the envelope message", err)
+	}
+}
+
+// TestResumeRejectsConfigChange pins the state fingerprint guard.
+func TestResumeRejectsConfigChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	one := `{"repeats":1,"common":{"uops":10000,"warmup":2000,"seed":1},"experiments":[{"id":"table3"}]}`
+	g := mustParse(t, one)
+	r, err := NewRunner(RunnerConfig{Grid: g, GridBytes: []byte(one), Profile: FullProfile, Dir: dir, Stamp: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := one + "\n"
+	g2 := mustParse(t, edited)
+	r2, err := NewRunner(RunnerConfig{Grid: g2, GridBytes: []byte(edited), Profile: FullProfile, Dir: dir, Stamp: "test", Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Run(context.Background()); err == nil {
+		t.Error("resume with an edited grid must refuse and demand a fresh run")
+	}
+}

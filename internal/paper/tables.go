@@ -1,0 +1,90 @@
+package paper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown and LaTeX renderers for the paper's tables. Both consume plain
+// (title, headers, rows) — fed from bench.ConfigTable for the
+// configuration echoes (Tables 1 and 2) and from validated CSVs for the
+// measured tables — and both are deterministic: same rows, same bytes.
+
+// MarkdownTable renders a GitHub-flavored Markdown table.
+func MarkdownTable(title string, headers []string, rows [][]string) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", escapeMarkdown(title))
+	}
+	b.WriteString("|")
+	for _, h := range headers {
+		b.WriteString(" " + escapeMarkdown(h) + " |")
+	}
+	b.WriteString("\n|")
+	for range headers {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		b.WriteString("|")
+		for i := range headers {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			b.WriteString(" " + escapeMarkdown(cell) + " |")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// LaTeXTable renders a booktabs-style LaTeX table ready to drop into a
+// paper source (the caption carries the title).
+func LaTeXTable(title string, headers []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString("\\begin{table}[t]\n\\centering\n")
+	if title != "" {
+		fmt.Fprintf(&b, "\\caption{%s}\n", escapeLaTeX(title))
+	}
+	b.WriteString("\\begin{tabular}{" + strings.Repeat("l", len(headers)) + "}\n\\toprule\n")
+	cells := make([]string, len(headers))
+	for i, h := range headers {
+		cells[i] = "\\textbf{" + escapeLaTeX(h) + "}"
+	}
+	b.WriteString(strings.Join(cells, " & ") + " \\\\\n\\midrule\n")
+	for _, row := range rows {
+		for i := range headers {
+			cells[i] = ""
+			if i < len(row) {
+				cells[i] = escapeLaTeX(row[i])
+			}
+		}
+		b.WriteString(strings.Join(cells, " & ") + " \\\\\n")
+	}
+	b.WriteString("\\bottomrule\n\\end{tabular}\n\\end{table}\n")
+	return b.String()
+}
+
+// escapeMarkdown protects the characters that would break a table cell.
+func escapeMarkdown(s string) string {
+	s = strings.ReplaceAll(s, "|", "\\|")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}
+
+// latexReplacer escapes LaTeX special characters in data cells.
+var latexReplacer = strings.NewReplacer(
+	"\\", "\\textbackslash{}",
+	"&", "\\&",
+	"%", "\\%",
+	"$", "\\$",
+	"#", "\\#",
+	"_", "\\_",
+	"{", "\\{",
+	"}", "\\}",
+	"~", "\\textasciitilde{}",
+	"^", "\\textasciicircum{}",
+)
+
+func escapeLaTeX(s string) string { return latexReplacer.Replace(s) }

@@ -1,0 +1,42 @@
+package paper
+
+import "testing"
+
+var (
+	tblHeaders = []string{"suite", "redone_stores_pct"}
+	tblRows    = [][]string{{"SFP2K", "1.25"}, {"WEB|x", "3_4"}}
+)
+
+func TestMarkdownTable(t *testing.T) {
+	got := MarkdownTable("Table 3: SRL statistics", tblHeaders, tblRows)
+	want := "**Table 3: SRL statistics**\n\n" +
+		"| suite | redone_stores_pct |\n" +
+		"|---|---|\n" +
+		"| SFP2K | 1.25 |\n" +
+		"| WEB\\|x | 3_4 |\n"
+	if got != want {
+		t.Fatalf("MarkdownTable:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLaTeXTable(t *testing.T) {
+	got := LaTeXTable("Stats 100% & more", tblHeaders, tblRows)
+	want := "\\begin{table}[t]\n\\centering\n" +
+		"\\caption{Stats 100\\% \\& more}\n" +
+		"\\begin{tabular}{ll}\n\\toprule\n" +
+		"\\textbf{suite} & \\textbf{redone\\_stores\\_pct} \\\\\n\\midrule\n" +
+		"SFP2K & 1.25 \\\\\n" +
+		"WEB|x & 3\\_4 \\\\\n" +
+		"\\bottomrule\n\\end{tabular}\n\\end{table}\n"
+	if got != want {
+		t.Fatalf("LaTeXTable:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestTablesHandleShortRows(t *testing.T) {
+	// A short row pads with empty cells rather than panicking.
+	md := MarkdownTable("", []string{"a", "b"}, [][]string{{"only"}})
+	if want := "| a | b |\n|---|---|\n| only |  |\n"; md != want {
+		t.Fatalf("short row markdown = %q, want %q", md, want)
+	}
+}
