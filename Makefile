@@ -103,6 +103,6 @@ paper-smoke:
 # seeds; minimize one with `go run ./cmd/traceconv minimize`.
 FUZZTIME ?= 30s
 fuzz:
-	go test ./internal/check -run 'TestSeededForwardingBugCaught|TestRegressionTraces' -count=1
-	SRLPROC_ORACLE_FULL=1 go test ./internal/check -run TestFiguresOracleClean -count=1
+	go test ./internal/check -run 'TestSeededForwardingBugCaught|TestSeededOrderingBugCaught|TestRegressionTraces' -count=1
+	SRLPROC_ORACLE_FULL=1 go test ./internal/check -run 'TestFiguresOracleClean|TestOrderingOracleClean' -count=1
 	go test ./internal/check -run '^$$' -fuzz FuzzOracle -fuzztime $(FUZZTIME)

@@ -51,7 +51,7 @@ import (
 // can never drift from what the command actually accepts.
 var presentationOrder = []bench.ExperimentID{
 	bench.Fig2, bench.Fig6, bench.Table3, bench.Fig7, bench.Fig8,
-	bench.Fig9, bench.Fig10, bench.Energy, bench.Latency,
+	bench.Fig9, bench.Fig10, bench.Energy, bench.Latency, bench.Ordering,
 }
 
 // cliOnlySections are the -only selections that are rendered report

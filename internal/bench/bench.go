@@ -914,3 +914,142 @@ func planLatencySweep(o Options, suite trace.Suite) *plan {
 		},
 	}
 }
+
+// --- Memory-ordering + far-memory scenario pack (DESIGN.md §12) ---
+
+// OrderingPoint is one (design, scenario) measurement of the ordering
+// scenario pack.
+type OrderingPoint struct {
+	Design   core.StoreDesign
+	Scenario string
+	IPC      float64
+}
+
+// OrderingResult holds the scenario-pack grid: how much throughput each
+// design keeps when the workload carries fences and acquire/release
+// traffic, and when half the working set lives in a far (CXL-like) memory
+// tier — separately and combined.
+type OrderingResult struct {
+	Suite  trace.Suite
+	Points []OrderingPoint
+}
+
+// String renders IPC per scenario, one row per scenario, one column per
+// design.
+func (l *OrderingResult) String() string {
+	designs := []core.StoreDesign{}
+	scens := []string{}
+	seenD := map[core.StoreDesign]bool{}
+	seenS := map[string]bool{}
+	for _, p := range l.Points {
+		if !seenD[p.Design] {
+			seenD[p.Design] = true
+			designs = append(designs, p.Design)
+		}
+		if !seenS[p.Scenario] {
+			seenS[p.Scenario] = true
+			scens = append(scens, p.Scenario)
+		}
+	}
+	headers := []string{"Scenario"}
+	for _, d := range designs {
+		headers = append(headers, d.String()+" IPC")
+	}
+	t := stats.NewTable(fmt.Sprintf("Ordering + far-memory scenarios on %s (IPC)", l.Suite), headers...)
+	for _, sc := range scens {
+		cells := []interface{}{sc}
+		for _, d := range designs {
+			for _, p := range l.Points {
+				if p.Design == d && p.Scenario == sc {
+					cells = append(cells, fmt.Sprintf("%.2f", p.IPC))
+				}
+			}
+		}
+		t.AddRowf(cells...)
+	}
+	return t.String()
+}
+
+// orderingScenarios enumerates the scenario pack: {plain, sync} crossed
+// with {local, far, far-degraded}. The sync knobs inject 3 fences per 1K
+// uops and tag 12% of load/store sites acquire/release; the far tier
+// splits half the lines to a 2400-cycle CXL-like band, and the degraded
+// variants halve that tier's effective bandwidth mid-run (latency doubles
+// from cycle 20K on — the fail-over/degradation knob).
+func orderingScenarios() []struct {
+	name  string
+	apply func(*core.Config)
+} {
+	sync := func(cfg *core.Config) {
+		cfg.FencePer1K = 3
+		cfg.AcquireFrac = 0.12
+		cfg.ReleaseFrac = 0.12
+	}
+	far := func(cfg *core.Config) {
+		cfg.Mem.FarFrac = 0.5
+		cfg.Mem.FarLatency = 2400
+	}
+	degraded := func(cfg *core.Config) {
+		far(cfg)
+		cfg.Mem.FarDegradeAfter = 20_000
+		cfg.Mem.FarDegradedLatency = 4800
+	}
+	return []struct {
+		name  string
+		apply func(*core.Config)
+	}{
+		{"local", func(*core.Config) {}},
+		{"far", far},
+		{"far-degraded", degraded},
+		{"sync-local", sync},
+		{"sync-far", func(cfg *core.Config) { sync(cfg); far(cfg) }},
+		{"sync-far-degraded", func(cfg *core.Config) { sync(cfg); degraded(cfg) }},
+	}
+}
+
+// planOrdering measures the ordering scenario pack on the baseline and the
+// SRL machine: the cost of release-consistency enforcement rides on the
+// drain path the SRL already owns, so the SRL's advantage should survive
+// sync traffic — and widen under far-memory latency, which deepens the
+// miss shadows the paper's mechanism hides. Options.LatencySuite selects
+// the suite (default SFP2K), mirroring the Latency experiment.
+func planOrdering(o Options, suite trace.Suite) *plan {
+	type pointID struct {
+		d    core.StoreDesign
+		scen string
+	}
+	var ids []pointID
+	var points []sweep.Point
+	for _, d := range []core.StoreDesign{core.DesignBaseline, core.DesignSRL} {
+		for _, sc := range orderingScenarios() {
+			cfg := o.apply(core.DefaultConfig(d))
+			sc.apply(&cfg)
+			ids = append(ids, pointID{d, sc.name})
+			points = append(points, sweep.Point{
+				Label: fmt.Sprintf("%s@%s", d, sc.name),
+				Cfg:   cfg,
+				Suite: suite,
+			})
+		}
+	}
+	return &plan{
+		points:    points,
+		csvHeader: []string{"suite", "design", "scenario", "ipc"},
+		csvRows:   len(points),
+		assemble: func(rep *sweep.Report) (*ExperimentResult, error) {
+			out := &OrderingResult{Suite: suite}
+			for i, id := range ids {
+				pr := &rep.Points[i]
+				if pr.Results == nil {
+					return nil, pointError(pr)
+				}
+				out.Points = append(out.Points, OrderingPoint{
+					Design:   id.d,
+					Scenario: id.scen,
+					IPC:      pr.Results.IPC(),
+				})
+			}
+			return &ExperimentResult{ID: Ordering, Ordering: out}, nil
+		},
+	}
+}

@@ -39,6 +39,10 @@ const (
 	// Latency sweeps memory latency per design (Options.LatencySuite
 	// selects the suite; its zero value is SFP2K).
 	Latency
+	// Ordering runs the memory-ordering + far-memory scenario pack:
+	// {plain, sync} × {local, far, far-degraded} on the baseline and SRL
+	// machines (Options.LatencySuite selects the suite, default SFP2K).
+	Ordering
 
 	numExperiments
 )
@@ -52,9 +56,10 @@ var experimentNames = [numExperiments]string{
 	Fig8:    "fig8",
 	Fig9:    "fig9",
 	Fig10:   "fig10",
-	Table3:  "table3",
-	Energy:  "energy",
-	Latency: "latency",
+	Table3:   "table3",
+	Energy:   "energy",
+	Latency:  "latency",
+	Ordering: "ordering",
 }
 
 // experimentDescriptions are one-line summaries surfaced by the
@@ -66,9 +71,10 @@ var experimentDescriptions = [numExperiments]string{
 	Fig8:    "LCF and indexed-forwarding ablation",
 	Fig9:    "LCF size crossed with LAB and 3-PAX hashing",
 	Fig10:   "separate forwarding cache vs data-cache forwarding",
-	Table3:  "SRL statistics per suite",
-	Energy:  "dynamic energy attributed to secondary-structure activity",
-	Latency: "IPC vs memory latency per design (suite: Options.LatencySuite, default SFP2K)",
+	Table3:   "SRL statistics per suite",
+	Energy:   "dynamic energy attributed to secondary-structure activity",
+	Latency:  "IPC vs memory latency per design (suite: Options.LatencySuite, default SFP2K)",
+	Ordering: "memory-ordering + far-memory scenario pack: {plain,sync} x {local,far,far-degraded}",
 }
 
 // Description returns the experiment's one-line summary.
@@ -164,11 +170,12 @@ func ExperimentNames() string {
 type ExperimentResult struct {
 	ID ExperimentID
 
-	Figure  *FigureResult  // Fig2, Fig6, Fig8, Fig9, Fig10
-	Figure7 *Figure7Result // Fig7
-	Table3  *Table3Result  // Table3
-	Energy  *EnergyResult  // Energy
-	Latency *LatencyResult // Latency
+	Figure   *FigureResult   // Fig2, Fig6, Fig8, Fig9, Fig10
+	Figure7  *Figure7Result  // Fig7
+	Table3   *Table3Result   // Table3
+	Energy   *EnergyResult   // Energy
+	Latency  *LatencyResult  // Latency
+	Ordering *OrderingResult // Ordering
 }
 
 // Value returns the one non-nil result, untyped.
@@ -184,6 +191,8 @@ func (r *ExperimentResult) Value() any {
 		return r.Energy
 	case r.Latency != nil:
 		return r.Latency
+	case r.Ordering != nil:
+		return r.Ordering
 	}
 	return nil
 }
@@ -243,6 +252,8 @@ func experimentPlan(id ExperimentID, o Options) (*plan, error) {
 		return planEnergy(o), nil
 	case Latency:
 		return planLatencySweep(o, o.LatencySuite), nil
+	case Ordering:
+		return planOrdering(o, o.LatencySuite), nil
 	}
 	return nil, fmt.Errorf("bench: invalid experiment id %d", int(id))
 }

@@ -77,7 +77,7 @@ func TestRunExperimentAllIDs(t *testing.T) {
 		fields := 0
 		for _, set := range []bool{
 			res.Figure != nil, res.Figure7 != nil, res.Table3 != nil,
-			res.Energy != nil, res.Latency != nil,
+			res.Energy != nil, res.Latency != nil, res.Ordering != nil,
 		} {
 			if set {
 				fields++

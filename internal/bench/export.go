@@ -168,6 +168,33 @@ func (l *LatencyResult) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
+// MarshalJSON renders the ordering scenario-pack grid.
+func (l *OrderingResult) MarshalJSON() ([]byte, error) {
+	type point struct {
+		Design   core.StoreDesign `json:"design"`
+		Scenario string           `json:"scenario"`
+		IPC      float64          `json:"ipc"`
+	}
+	points := make([]point, len(l.Points))
+	for i, p := range l.Points {
+		points[i] = point(p)
+	}
+	return json.Marshal(struct {
+		Suite  trace.Suite `json:"suite"`
+		Points []point     `json:"points"`
+	}{l.Suite, points})
+}
+
+// WriteCSV renders the grid, one row per (design, scenario).
+func (l *OrderingResult) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("suite,design,scenario,ipc\n")
+	for _, p := range l.Points {
+		fmt.Fprintf(bw, "%s,%s,%s,%.4f\n", l.Suite, p.Design, p.Scenario, p.IPC)
+	}
+	return bw.Flush()
+}
+
 // csvQuote quotes a CSV field only when it needs it.
 func csvQuote(s string) string {
 	needs := false

@@ -1,6 +1,10 @@
 package cachesim
 
-import "srlproc/internal/isa"
+import (
+	"fmt"
+
+	"srlproc/internal/isa"
+)
 
 // AccessResult reports the outcome of a hierarchy access.
 type AccessResult struct {
@@ -23,6 +27,31 @@ type Config struct {
 	PrefetchOn bool
 	PrefetchN  int // stream slots
 	PrefetchD  int // prefetch depth (lines ahead)
+
+	// Far-memory tier (CXL-like memory expansion). FarFrac of cache lines
+	// — selected by a deterministic line-address hash, modelling a static
+	// capacity split between local DRAM and the far tier — miss to
+	// FarLatency instead of MemLatency. FarDegradeAfter (cycles), when
+	// non-zero, models a link fail-over/degradation scenario: far accesses
+	// issued at or after that cycle pay FarDegradedLatency instead. All
+	// zero = no far tier, bit-identical to the pre-existing hierarchy.
+	FarFrac            float64
+	FarLatency         uint64
+	FarDegradeAfter    uint64
+	FarDegradedLatency uint64
+}
+
+// Validate checks the far-memory knobs for internal consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.FarFrac < 0 || c.FarFrac > 1:
+		return fmt.Errorf("cachesim: FarFrac %v out of range [0,1]", c.FarFrac)
+	case c.FarFrac > 0 && c.FarLatency == 0:
+		return fmt.Errorf("cachesim: FarFrac %v requires FarLatency > 0", c.FarFrac)
+	case c.FarDegradeAfter > 0 && c.FarDegradedLatency == 0:
+		return fmt.Errorf("cachesim: FarDegradeAfter requires FarDegradedLatency > 0")
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table 1 memory hierarchy.
@@ -56,6 +85,8 @@ type Hierarchy struct {
 	memAccesses    uint64
 	mshrFullEvents uint64
 	prefFills      uint64
+	farAccesses    uint64
+	farDegraded    uint64
 }
 
 // NewHierarchy builds the hierarchy from cfg.
@@ -74,6 +105,39 @@ func NewHierarchy(cfg Config) *Hierarchy {
 
 // MemAccesses returns demand fetches that went to memory.
 func (h *Hierarchy) MemAccesses() uint64 { return h.memAccesses }
+
+// FarAccesses returns memory fetches (demand or prefetch) served by the
+// far-memory tier.
+func (h *Hierarchy) FarAccesses() uint64 { return h.farAccesses }
+
+// FarDegradedAccesses returns far-tier fetches that paid the degraded
+// (post-fail-over) latency.
+func (h *Hierarchy) FarDegradedAccesses() uint64 { return h.farDegraded }
+
+// isFarLine deterministically assigns line addresses to the far tier. A
+// multiplicative hash spreads the split across regions so FarFrac of any
+// workload's footprint — hot, heap, and stream alike — lands far.
+func (h *Hierarchy) isFarLine(la uint64) bool {
+	if h.cfg.FarFrac <= 0 {
+		return false
+	}
+	hash := (la / isa.CacheLineSize) * 0x9E3779B97F4A7C15
+	return hash>>40 < uint64(h.cfg.FarFrac*float64(uint64(1)<<24))
+}
+
+// memLatencyFor returns the memory fetch latency for a line at a cycle,
+// routing far-tier lines to the (possibly degraded) far latency.
+func (h *Hierarchy) memLatencyFor(cycle, la uint64) uint64 {
+	if !h.isFarLine(la) {
+		return h.cfg.MemLatency
+	}
+	h.farAccesses++
+	if h.cfg.FarDegradeAfter > 0 && cycle >= h.cfg.FarDegradeAfter {
+		h.farDegraded++
+		return h.cfg.FarDegradedLatency
+	}
+	return h.cfg.FarLatency
+}
 
 // DemandMisses returns demand (non-prefetch) misses to memory.
 func (h *Hierarchy) DemandMisses() uint64 { return h.demandMisses }
@@ -158,7 +222,7 @@ func (h *Hierarchy) Access(cycle, addr uint64, write bool) AccessResult {
 	}
 	h.demandMisses++
 	h.memAccesses++
-	fill := cycle + h.cfg.MemLatency
+	fill := cycle + h.memLatencyFor(cycle, la)
 	h.mshrs[la] = fill
 	if ev := h.L2.Insert(la, fill, false); ev.Valid && ev.Addr < 0x4000_0000 {
 		h.L2EvictHot++
@@ -203,7 +267,7 @@ func (h *Hierarchy) prefetchLine(cycle, addr uint64) {
 	}
 	h.memAccesses++
 	h.prefFills++
-	fill := cycle + h.cfg.MemLatency
+	fill := cycle + h.memLatencyFor(cycle, la)
 	h.mshrs[la] = fill
 	h.L2.Insert(la, fill, false)
 }

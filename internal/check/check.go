@@ -106,6 +106,26 @@ func samplePointWith(rng *xrand.RNG, design core.StoreDesign, suite trace.Suite)
 	cfg.Mem.PrefetchOn = rng.Bool(0.5)
 	cfg.Mem.MSHRs = pick(rng, 4, 32)
 	cfg.SnoopsEnabled = rng.Bool(0.5)
+
+	// Memory-ordering traffic (DESIGN.md §12): half the points carry
+	// fences and acquire/release tags so the sync gates, the version
+	// tracker and the oracle's ordering checks get fuzz coverage; the
+	// other half keeps the historical zero-knob stream.
+	if rng.Bool(0.5) {
+		cfg.FencePer1K = pick(rng, 1, 4, 16)
+		cfg.AcquireFrac = float64(pick(rng, 0, 10, 30)) / 100
+		cfg.ReleaseFrac = float64(pick(rng, 0, 10, 30)) / 100
+	}
+	// Far-memory tier: a third of the points split lines across a
+	// CXL-like latency band, sometimes with mid-run degradation.
+	if rng.Bool(0.33) {
+		cfg.Mem.FarFrac = float64(pick(rng, 25, 50)) / 100
+		cfg.Mem.FarLatency = uint64(pick(rng, 1200, 2400))
+		if rng.Bool(0.5) {
+			cfg.Mem.FarDegradeAfter = uint64(pick(rng, 5_000, 20_000))
+			cfg.Mem.FarDegradedLatency = 2 * cfg.Mem.FarLatency
+		}
+	}
 	return Point{Cfg: cfg, Suite: suite}
 }
 
@@ -129,7 +149,11 @@ func pick(rng *xrand.RNG, choices ...int) int {
 // recorded slice a checked run replays, so a divergence is immediately
 // reproducible and minimizable.
 func Capture(suite trace.Suite, seed uint64, n int) []isa.Uop {
-	g := trace.NewGenerator(trace.ProfileFor(suite), seed)
+	return captureProfile(trace.ProfileFor(suite), seed, n)
+}
+
+func captureProfile(p trace.Profile, seed uint64, n int) []isa.Uop {
+	g := trace.NewGenerator(p, seed)
 	uops := make([]isa.Uop, n)
 	for i := range uops {
 		uops[i] = g.Next()
@@ -137,12 +161,23 @@ func Capture(suite trace.Suite, seed uint64, n int) []isa.Uop {
 	return uops
 }
 
+// profileFor mirrors cfg's ordering knobs into suite's profile, exactly as
+// core.New does — a captured slice must carry the same fences and
+// acquire/release tags the live generator would emit.
+func profileFor(cfg core.Config, suite trace.Suite) trace.Profile {
+	p := trace.ProfileFor(suite)
+	p.FencePer1K = cfg.FencePer1K
+	p.AcquireFrac = cfg.AcquireFrac
+	p.ReleaseFrac = cfg.ReleaseFrac
+	return p
+}
+
 // CaptureFor sizes Capture for cfg: the committed budget plus two window
 // capacities of fetch-ahead slack. The slice source loops if the machine
 // somehow reads past that, so the bound only has to be roughly right.
 func CaptureFor(cfg core.Config, suite trace.Suite) []isa.Uop {
 	n := int(cfg.WarmupUops+cfg.RunUops) + 2*cfg.WindowCap
-	return Capture(suite, cfg.Seed, n)
+	return captureProfile(profileFor(cfg, suite), cfg.Seed, n)
 }
 
 // RunChecked simulates cfg over the recorded micro-op slice with the
@@ -150,7 +185,7 @@ func CaptureFor(cfg core.Config, suite trace.Suite) []isa.Uop {
 // included — they never abort the run).
 func RunChecked(cfg core.Config, suite trace.Suite, uops []isa.Uop) (*core.Results, error) {
 	cfg.Check = true
-	c, err := core.NewFromSource(cfg, NewSliceSource(uops), trace.ProfileFor(suite))
+	c, err := core.NewFromSource(cfg, NewSliceSource(uops), profileFor(cfg, suite))
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,14 @@ func FuzzOracle(f *testing.F) {
 		f.Add(uint64(1), design, uint8(design))
 		f.Add(uint64(0x5eed+uint64(design)), design, uint8(6-design))
 	}
+	// Ordering + far-memory coverage: these seeds sample points with
+	// fences/acquire-release traffic AND the far tier enabled (the sampler
+	// rolls both knobs from the seed), one per store organisation.
+	f.Add(uint64(0), uint8(0), uint8(0))
+	f.Add(uint64(7), uint8(1), uint8(0))
+	f.Add(uint64(3), uint8(2), uint8(3))
+	f.Add(uint64(4), uint8(3), uint8(4))
+	f.Add(uint64(7), uint8(4), uint8(0))
 	f.Fuzz(func(t *testing.T, seed uint64, designSel, profSel uint8) {
 		pt := PointFromArgs(seed, designSel, profSel)
 		uops := CaptureFor(pt.Cfg, pt.Suite)

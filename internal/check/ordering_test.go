@@ -1,0 +1,187 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"srlproc/internal/core"
+	"srlproc/internal/oracle"
+	"srlproc/internal/trace"
+)
+
+// orderingCfg decorates a design's default configuration with the §12
+// scenario-pack knobs: fences and acquire/release tags in the instruction
+// stream, and a far-memory tier splitting lines across a CXL-like latency
+// band with mid-run degradation.
+func orderingCfg(design core.StoreDesign) core.Config {
+	cfg := core.DefaultConfig(design)
+	cfg.FencePer1K = 3
+	cfg.AcquireFrac = 0.12
+	cfg.ReleaseFrac = 0.12
+	cfg.Mem.FarFrac = 0.5
+	cfg.Mem.FarLatency = 2400
+	cfg.Mem.FarDegradeAfter = 20_000
+	cfg.Mem.FarDegradedLatency = 4800
+	return cfg
+}
+
+// TestOrderingOracleClean runs every store design on every suite with
+// ordering traffic and the far-memory tier enabled, under the lockstep
+// oracle, and requires zero divergences — the fence/release gates must
+// hold exactly where DESIGN.md §12 claims they do. Reduced lengths by
+// default; SRLPROC_ORACLE_FULL=1 runs the figure-scale lengths.
+func TestOrderingOracleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering oracle sweep skipped in -short mode")
+	}
+	warmup, run := uint64(2_000), uint64(8_000)
+	if os.Getenv("SRLPROC_ORACLE_FULL") == "1" {
+		warmup, run = 8_000, 40_000
+	}
+	type pt struct {
+		name string
+		cfg  core.Config
+	}
+	var pts []pt
+	for _, design := range allDesigns {
+		pts = append(pts, pt{design.String(), orderingCfg(design)})
+	}
+	// Without the WAR order tracker the SRL drain path's own release/sync
+	// gates are the only thing holding the head back — the configuration
+	// where they are load-bearing rather than redundant.
+	noWAR := orderingCfg(core.DesignSRL)
+	noWAR.UseWARTracker = false
+	pts = append(pts, pt{"srl-nowar", noWAR})
+	for _, p := range pts {
+		for _, su := range trace.AllSuites() {
+			p, su := p, su
+			t.Run(fmt.Sprintf("%s/%s", p.name, su), func(t *testing.T) {
+				t.Parallel()
+				cfg := p.cfg
+				cfg.WarmupUops = warmup
+				cfg.RunUops = run
+				cfg.Check = true
+				uops := CaptureFor(cfg, su)
+				res, err := RunChecked(cfg, su, uops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.DivergenceCount != 0 {
+					for i, d := range res.Divergences {
+						t.Errorf("divergence %d: %s", i, d)
+					}
+					t.Fatalf("%s/%s: %d divergences", p.name, su, res.DivergenceCount)
+				}
+				// Skip-identity leg: the ordering waits (fence retries, SRL
+				// drain gates) must be linear under the cycle-skip
+				// fast-forward — flipping EventSkip may not change a byte.
+				flipped := cfg
+				flipped.EventSkip = !cfg.EventSkip
+				res2, err := RunChecked(flipped, su, uops)
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, _ := json.Marshal(res)
+				b, _ := json.Marshal(res2)
+				if string(a) != string(b) {
+					t.Fatalf("EventSkip changed the Results document under ordering traffic on %s/%s", p.name, su)
+				}
+			})
+		}
+	}
+}
+
+// orderingFaultCfg is the pinned design point for the seeded sync-gate
+// tests: the ordering scenario pack on an SRL machine with the drain-path
+// release/sync gates removed (Config.FaultDropSyncGate). The WAR order
+// tracker is disabled because it independently holds the head behind
+// unexecuted older loads, masking the dropped gates (the configuration is
+// legal — without the tracker the load buffer catches WAR value errors).
+// testdata/regress/ord_*.srlt traces replay under this config.
+func orderingFaultCfg() core.Config {
+	cfg := orderingCfg(core.DesignSRL)
+	cfg.Seed = 1
+	cfg.WarmupUops = 0
+	cfg.RunUops = 8_000
+	cfg.SRLSize = 32
+	cfg.Check = true
+	cfg.FaultDropSyncGate = true
+	cfg.UseWARTracker = false
+	cfg.SnoopsEnabled = false
+	return cfg
+}
+
+// TestSeededOrderingBugCaught runs the deliberately de-gated drain path
+// under the oracle and requires it to be detected, minimized, and still
+// detected after a round trip through the on-disk trace format.
+func TestSeededOrderingBugCaught(t *testing.T) {
+	cfg := orderingFaultCfg()
+	uops := CaptureFor(cfg, trace.SINT2K)
+	res, err := RunChecked(cfg, trace.SINT2K, uops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DivergenceCount == 0 {
+		t.Fatal("seeded sync-gate bug not caught: zero divergences")
+	}
+	sawOrdering := false
+	for _, d := range res.Divergences {
+		if d.Kind == oracle.KindSyncOrder || d.Kind == oracle.KindReleaseOrder {
+			sawOrdering = true
+			break
+		}
+	}
+	if !sawOrdering {
+		t.Fatalf("expected a sync-order or release-order divergence among %d; first is %v",
+			res.DivergenceCount, res.Divergences[0].Kind)
+	}
+	t.Logf("caught: %d divergences, first %v at cycle %d",
+		res.DivergenceCount, res.Divergences[0].Kind, res.Divergences[0].Cycle)
+
+	if testing.Short() {
+		t.Skip("skipping minimization in -short mode")
+	}
+	min, ok := Minimize(cfg, trace.SINT2K, uops, 64)
+	if !ok {
+		t.Fatal("Minimize failed to reproduce the divergence")
+	}
+	if len(min) >= len(uops) {
+		t.Fatalf("minimization did not shrink the trace: %d -> %d", len(uops), len(min))
+	}
+	t.Logf("minimized %d uops -> %d", len(uops), len(min))
+
+	path := filepath.Join(t.TempDir(), "min.srlt")
+	if os.Getenv("SRLPROC_WRITE_REGRESS") == "1" {
+		// Refresh the checked-in regression trace from this minimization.
+		path = filepath.Join("testdata", "regress", "ord_drop_sync_gate.srlt")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteRecords(f, min); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	back, err := trace.ReadRecords(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunChecked(cfg, trace.SINT2K, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DivergenceCount == 0 {
+		t.Fatal("minimized trace no longer reproduces after file round-trip")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"srlproc/internal/core"
@@ -98,6 +99,17 @@ func TestSeededForwardingBugCaught(t *testing.T) {
 	}
 }
 
+// regressCfg maps a checked-in regression trace to the config that
+// originally exposed it, by filename prefix: fwd_* traces replay the
+// forwarding-age fault point, ord_* traces the ordering sync-gate fault
+// point.
+func regressCfg(base string) core.Config {
+	if strings.HasPrefix(base, "ord_") {
+		return orderingFaultCfg()
+	}
+	return faultCfg()
+}
+
 // TestRegressionTraces replays every checked-in minimized trace under the
 // config that originally exposed it and requires the divergence to persist.
 // Each file in testdata/regress is the output of a Minimize run on a real
@@ -128,7 +140,7 @@ func TestRegressionTraces(t *testing.T) {
 			}
 			var docs [2][]byte
 			for i, skip := range []bool{true, false} {
-				cfg := faultCfg()
+				cfg := regressCfg(filepath.Base(p))
 				cfg.EventSkip = skip
 				res, err := RunChecked(cfg, trace.SINT2K, uops)
 				if err != nil {

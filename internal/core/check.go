@@ -81,7 +81,21 @@ func (k *checker) recentEvents() []obs.Event {
 // --- hook wrappers (each call site guards on c.chk != nil) ---
 
 func (c *Core) chkStoreAlloc(d *dynUop) {
-	c.chk.o.StoreAlloc(c.cycle, d.u.Seq, d.storeID)
+	// Called from allocStoreEntry, before the commit section stamps
+	// d.ordVer — c.ordVer is the value this store is about to receive.
+	c.chk.o.StoreAlloc(c.cycle, d.u.Seq, d.storeID, d.u.Rel, c.ordVer)
+}
+
+func (c *Core) chkLoadAlloc(d *dynUop) {
+	c.chk.o.LoadAlloc(c.cycle, d.u.Seq, d.u.Acq)
+}
+
+func (c *Core) chkFenceAlloc(d *dynUop) {
+	c.chk.o.FenceAlloc(c.cycle, d.u.Seq)
+}
+
+func (c *Core) chkFencePerformed(d *dynUop) {
+	c.chk.o.FencePerformed(c.cycle, d.u.Seq)
 }
 
 func (c *Core) chkStoreResolved(d *dynUop, ready bool) {

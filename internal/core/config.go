@@ -153,6 +153,23 @@ type Config struct {
 	// rate comes from the workload profile unless disabled here.
 	SnoopsEnabled bool
 
+	// Memory-ordering workload knobs, mirrored into the trace profile
+	// (trace.Profile.FencePer1K/AcquireFrac/ReleaseFrac). All zero by
+	// default: the generator then emits no ordering ops and replays the
+	// exact pre-existing streams. FencePer1K full fences per 1000 uops;
+	// AcquireFrac of load sites become load-acquires; ReleaseFrac of store
+	// sites become store-releases. The core enforces release consistency
+	// with Louvre-style version tracking (DESIGN.md §12).
+	FencePer1K  int
+	AcquireFrac float64
+	ReleaseFrac float64
+
+	// FaultDropSyncGate disables the ordering gates in the store drain
+	// path (release stores drain without waiting for older loads; drains
+	// ignore pending fences/acquires), so the extended oracle can prove it
+	// catches ordering violations. Never set in real experiments.
+	FaultDropSyncGate bool
+
 	// EventSkip lets the cycle loop fast-forward quiescent gaps: when a
 	// probe cycle proves no uop can make progress, the core jumps straight
 	// to the next interesting cycle (completion-heap head, MSHR fill
@@ -267,6 +284,15 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: window cap %d too small for checkpoint interval %d", c.WindowCap, c.CkptInterval)
 	case c.RunUops == 0:
 		return fmt.Errorf("core: RunUops must be positive")
+	case c.FencePer1K < 0 || c.FencePer1K > 1000:
+		return fmt.Errorf("core: FencePer1K %d out of range [0,1000]", c.FencePer1K)
+	case c.AcquireFrac < 0 || c.AcquireFrac > 1:
+		return fmt.Errorf("core: AcquireFrac %v out of range [0,1]", c.AcquireFrac)
+	case c.ReleaseFrac < 0 || c.ReleaseFrac > 1:
+		return fmt.Errorf("core: ReleaseFrac %v out of range [0,1]", c.ReleaseFrac)
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
 	}
 	if c.Design == DesignSRL {
 		if c.SRLSize <= 0 {

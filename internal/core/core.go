@@ -54,6 +54,17 @@ type Core struct {
 	sdbCount  int       // live entries (inSDB) in the sdb heap
 	pendDrain []*dynUop // poisoned uops waiting for SDB space
 
+	// Memory-ordering enforcement (ordering.go, DESIGN.md §12): the
+	// monotonic ordering version bumped at every sync allocation, the ring
+	// of per-version outstanding-load counters (Louvre-style), and the
+	// program-ordered list of unperformed fences/load-acquires.
+	ordVer       uint64
+	verBase      uint64
+	verHead      int
+	verCounts    []uint32
+	verTotal     int
+	pendingSyncs []uopRef
+
 	// SRL-stalled loads, plus the retry loop's reusable snapshot buffer
 	// (the loop must not iterate srlStalled itself: releasing a load can
 	// restart the machine, which rewrites the list in place).
@@ -172,9 +183,15 @@ type Core struct {
 	chk *checker
 }
 
-// New builds a core for the given configuration and workload suite.
+// New builds a core for the given configuration and workload suite. The
+// config's memory-ordering workload knobs are mirrored into the suite
+// profile before the generator is built — zero knobs leave the profile
+// untouched, so pre-existing streams replay bit-identically.
 func New(cfg Config, suite trace.Suite) (*Core, error) {
 	prof := trace.ProfileFor(suite)
+	prof.FencePer1K = cfg.FencePer1K
+	prof.AcquireFrac = cfg.AcquireFrac
+	prof.ReleaseFrac = cfg.ReleaseFrac
 	return NewFromSource(cfg, trace.NewGenerator(prof, cfg.Seed), prof)
 }
 
@@ -583,6 +600,8 @@ func (c *Core) finalize() {
 	c.res.L2Misses = act.l2Misses - c.actBase.l2Misses
 	c.res.MemAccesses = act.memAccesses - c.actBase.memAccesses
 	c.res.Writebacks = act.writebacks - c.actBase.writebacks
+	c.res.FarAccesses = act.farAccesses - c.actBase.farAccesses
+	c.res.FarDegradedAccesses = act.farDegraded - c.actBase.farDegraded
 }
 
 // activity is a snapshot of cumulative structure counters.
@@ -595,6 +614,7 @@ type activity struct {
 	srlReads, srlWrites                 uint64
 	l1Misses, l2Misses, memAccesses     uint64
 	writebacks                          uint64
+	farAccesses, farDegraded            uint64
 }
 
 func (c *Core) snapshotActivity() activity {
@@ -629,6 +649,8 @@ func (c *Core) snapshotActivity() activity {
 	a.l2Misses = c.mem.L2.Misses()
 	a.memAccesses = c.mem.MemAccesses()
 	a.writebacks = c.mem.L1.Writebacks() + c.mem.L2.Writebacks()
+	a.farAccesses = c.mem.FarAccesses()
+	a.farDegraded = c.mem.FarDegradedAccesses()
 	return a
 }
 

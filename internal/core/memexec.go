@@ -21,6 +21,19 @@ func (c *Core) execute(d *dynUop) {
 	switch d.u.Class {
 	case isa.Load:
 		c.executeLoad(d)
+	case isa.Fence:
+		// A fence performs only once every older load has performed, every
+		// older sync has performed, and every older store has drained out of
+		// the store FIFOs (fenceReady). Until then it retries each cycle
+		// from the deferred list without leaving the scheduler.
+		if !c.fenceReady(d) {
+			c.metrics.Inc(obs.MetricFenceWaitCycles)
+			c.deferOneCycle(d)
+			return
+		}
+		c.leaveSched(d)
+		d.issued = true
+		pushCmpl(&c.cmpl, c.cycle+d.u.Class.Latency(), d)
 	case isa.Store:
 		// Address generation and data capture; the store's architectural
 		// memory update happens later, in order, from the store queues.
@@ -104,6 +117,19 @@ func (c *Core) uopBySeq(seq uint64) *dynUop {
 // search, design-specific secondary forwarding (L2 STQ / FC / LCF+SRL), and
 // finally the cache hierarchy.
 func (c *Core) executeLoad(d *dynUop) {
+	// 0. Release-consistency gate (ordering.go): a load may not perform
+	// past an unperformed older fence or load-acquire. The wait is
+	// event-driven — the load parks on the sync's waiter list, or joins
+	// the slice when the sync is itself miss-dependent. Once passed, the
+	// gate stays passed (all older syncs were already allocated, and a
+	// performed sync only un-performs through a squash that also squashes
+	// this load), so retry paths that bypass executeLoad are safe.
+	if s := c.pendingSyncBefore(d.u.Seq); s != nil {
+		c.metrics.Inc(obs.MetricLoadsBlockedOnSync)
+		c.blockOnStore(d, s)
+		return
+	}
+
 	// 1. Screen against in-flight stores with unknown (poisoned) addresses
 	// using the store-sets memory dependence predictor. A predicted
 	// dependence on a slice store makes the load part of the slice
@@ -666,6 +692,23 @@ func (c *Core) drainSRLHead() {
 		if c.cfg.UseWARTracker && !c.order.AllLoadsOlderThanDone(h.Seq) {
 			c.metrics.Inc(obs.MetricSRLDrainWaitWAR)
 			return // prior loads must read the pre-store memory image first
+		}
+		// Release-consistency gates (ordering.go): a store-release becomes
+		// visible only after every older load has performed, and no store
+		// may become visible past an unperformed older fence or acquire.
+		// The committed drain path needs no such gates — in-order commit
+		// already implies every older op performed — but the SRL drains
+		// speculatively, ahead of commit. FaultDropSyncGate removes both
+		// gates so the oracle can demonstrate it catches the violations.
+		if !c.cfg.FaultDropSyncGate {
+			if h.Rel && !c.verLoadsDone(h.Ver) {
+				c.metrics.Inc(obs.MetricSRLDrainWaitRelease)
+				return
+			}
+			if c.pendingSyncBefore(h.Seq) != nil {
+				c.metrics.Inc(obs.MetricSRLDrainWaitSync)
+				return
+			}
 		}
 		if h.Seq <= c.lastCommittedSeq {
 			// The store's checkpoint has committed: this is an ordinary

@@ -56,6 +56,7 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 		c.regFree(d)
 		if d.allocated && d.isLoad() {
 			c.loadsInWindow--
+			c.verForget(d) // uncounts a squashed unperformed load (no-op if performed)
 		}
 		if d.allocated && d.isStore() {
 			c.storesInWindow--
@@ -83,6 +84,8 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 		d.memDep = uopRef{}
 		d.inUnknownList = false
 		d.ldbufInserted = false
+		d.ordVer = 0 // re-stamped at re-allocation (c.ordVer never rolls back)
+		d.inSyncList = false
 		// d.everInSDB is deliberately preserved: miss-dependence is
 		// counted once per uop even across replays.
 	}
@@ -105,6 +108,7 @@ func (c *Core) restart(ckptID int, penalty uint64) {
 	c.srlStalled = filterUops(c.srlStalled, squashBelow)
 	c.unknownStores = filterUops(c.unknownStores, squashBelow)
 	c.deferred = filterUops(c.deferred, squashBelow)
+	c.pendingSyncs = filterSyncRefs(c.pendingSyncs, squashBelow)
 
 	// Store/load structures. Every SquashYoungerThan follows one convention
 	// (entries with Seq > argument are removed, see lsq.StoreQueue), so the
@@ -193,6 +197,23 @@ func filterUops(list []*dynUop, squashBelow uint64) []*dynUop {
 		if d.u.Seq < squashBelow && d.allocated {
 			out = append(out, d)
 		}
+	}
+	return out
+}
+
+// filterSyncRefs drops squashed or recycled entries from the pending-sync
+// list (the restart reset loop bumped squashed uops' epochs, so live()
+// already rejects them); the vacated tail is zeroed so dropped references
+// don't pin recycled uops.
+func filterSyncRefs(list []uopRef, squashBelow uint64) []uopRef {
+	out := list[:0]
+	for _, r := range list {
+		if s := r.live(); s != nil && s.allocated && s.u.Seq < squashBelow {
+			out = append(out, r)
+		}
+	}
+	for i := len(out); i < len(list); i++ {
+		list[i] = uopRef{}
 	}
 	return out
 }

@@ -24,6 +24,11 @@ type Results struct {
 	Loads  uint64 `json:"loads"`
 	Stores uint64 `json:"stores"`
 
+	// Fences counts committed full fences. Zero (and omitted from JSON)
+	// unless the trace profile injects sync traffic (Config.FencePer1K),
+	// so documents from fence-free runs are unchanged.
+	Fences uint64 `json:"fences,omitempty"`
+
 	// CFP / slice statistics (Table 3 inputs).
 	MissDependentUops   uint64 `json:"missDependentUops"` // uops that drained to the SDB at least once
 	MissDependentStores uint64 `json:"missDependentStores"`
@@ -50,6 +55,12 @@ type Results struct {
 	MemAccesses  uint64 `json:"memAccesses"`
 	Writebacks   uint64 `json:"writebacks"`
 	SpecDiscards uint64 `json:"specDiscards"` // data-cache temporary updates discarded (§6.5 variant)
+
+	// Far-memory tier (Config.Mem.FarFrac > 0). Both are zero — and
+	// omitted from JSON — when the tier is off, so documents from
+	// far-free configs are unchanged.
+	FarAccesses         uint64 `json:"farAccesses,omitempty"`
+	FarDegradedAccesses uint64 `json:"farDegradedAccesses,omitempty"`
 
 	// Stall accounting (allocation stall cycles by cause).
 	StallSTQ    uint64 `json:"stallSTQ"`

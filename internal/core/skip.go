@@ -48,6 +48,10 @@ type skipFP struct {
 	fetchResume       uint64
 	tempUpdateStall   uint64
 	ckptSum           uint64
+	ordVer            uint64
+	verBase           uint64
+	verTotal          int
+	pendingSyncsLen   int
 	outstandingMisses int
 	loadsInWindow     int
 	storesInWindow    int
@@ -140,6 +144,14 @@ var skipMetricLinear = func() [obs.NumMetrics]bool {
 		obs.MetricSRLDrainWaitData,
 		obs.MetricSRLDrainWaitWAR,
 		obs.MetricSRLStallLoadCycles,
+		// Ordering waits are per-cycle retries while the gating condition
+		// holds: a deferred fence re-checks fenceReady each cycle, and a
+		// gated SRL head re-checks its release/sync gate each drain attempt.
+		// MetricLoadsBlockedOnSync is deliberately absent — blocking a load
+		// is a one-off event (the load then parks on a waiter list).
+		obs.MetricSRLDrainWaitRelease,
+		obs.MetricSRLDrainWaitSync,
+		obs.MetricFenceWaitCycles,
 	} {
 		lin[m] = true
 	}
@@ -157,6 +169,10 @@ func (c *Core) skipFPCapture() skipFP {
 		fetchResume:       c.fetchResume,
 		tempUpdateStall:   c.tempUpdateStall,
 		ckptSum:           c.ckptSumHash(),
+		ordVer:            c.ordVer,
+		verBase:           c.verBase,
+		verTotal:          c.verTotal,
+		pendingSyncsLen:   len(c.pendingSyncs),
 		outstandingMisses: c.outstandingMisses,
 		loadsInWindow:     c.loadsInWindow,
 		storesInWindow:    c.storesInWindow,

@@ -393,6 +393,7 @@ func (c *Core) complete(d *dynUop) {
 	switch {
 	case d.isLoad():
 		c.order.LoadCompleted(d.u.Seq)
+		c.verForget(d)
 		c.noteRecentLoad(d.u.Addr)
 		if d.ldbufInserted {
 			// Already recorded at access time (long-latency miss); a second
@@ -419,6 +420,10 @@ func (c *Core) complete(d *dynUop) {
 		c.wakeWaiters(d)
 		c.resolveBranch(d)
 		return
+	case d.u.Class == isa.Fence:
+		if c.chk != nil {
+			c.chkFencePerformed(d)
+		}
 	}
 	if !restarted {
 		c.wakeWaiters(d)
@@ -587,6 +592,9 @@ func (c *Core) commitCheckpoints() {
 					}
 				}
 			}
+			if d.u.Class == isa.Fence && c.measuring {
+				c.res.Fences++
+			}
 			c.freeUop(d)
 		}
 		c.ldbuf.CommitCkpt(ck.id)
@@ -684,6 +692,13 @@ func (c *Core) allocate() {
 		// or low-confidence branch.
 		ck := c.curCkpt()
 		needNew := ck.closed || ck.uops >= c.cfg.CkptInterval
+		// A fence opens a fresh checkpoint: older stores then sit in
+		// older, independently committable checkpoints, so the fence's
+		// wait for their drain (fenceReady) can never deadlock against
+		// its own checkpoint's completion counter.
+		if !needNew && d.u.Class == isa.Fence && ck.uops > 0 {
+			needNew = true
+		}
 		// Forward progress (Section 3): create a checkpoint soon after a
 		// restart so the restarted region commits piecewise even if the
 		// violation recurs.
@@ -766,6 +781,15 @@ func (c *Core) allocate() {
 		ck.pending++
 		ck.uops++
 
+		// Memory-ordering stamping (ordering.go): every uop carries the
+		// version current at its allocation; sync operations bump it, so
+		// ops older than a sync carry a version <= the sync's and younger
+		// ops a strictly greater one.
+		d.ordVer = c.ordVer
+		if isSyncUop(&d.u) {
+			c.ordVer++
+		}
+
 		// Dependences from the rename state. A stale lastWriter reference
 		// means the producer committed (its value is architectural), so the
 		// source needs no producer link — same as the register being clean.
@@ -800,6 +824,19 @@ func (c *Core) allocate() {
 			d.fwdStoreID = lsq.NoFwd
 			c.order.LoadAllocated(d.u.Seq)
 			c.loadsInWindow++
+			c.verAdd(d.ordVer)
+			d.verCounted = true
+			if d.u.Acq {
+				c.notePendingSync(d)
+			}
+			if c.chk != nil {
+				c.chkLoadAlloc(d)
+			}
+		case isa.Fence:
+			c.notePendingSync(d)
+			if c.chk != nil {
+				c.chkFenceAlloc(d)
+			}
 		case isa.Branch:
 			// Predict and train in program order at allocation (the
 			// front end sees branches in order; training at out-of-order
@@ -861,6 +898,10 @@ func (c *Core) allocStoreEntry(d *dynUop, ckptID int) bool {
 
 	entry := lsq.StoreEntry{
 		Seq: d.u.Seq, PC: d.u.PC, Ckpt: ckptID, SRLIndex: d.storeID,
+		// Release-consistency tags: the drain path holds a release until
+		// every load at or below Ver has performed. c.ordVer is the value
+		// the commit section will stamp into d.ordVer this same iteration.
+		Rel: d.u.Rel, Ver: c.ordVer,
 	}
 	switch c.cfg.Design {
 	case DesignHierarchical:

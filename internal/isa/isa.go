@@ -26,6 +26,7 @@ const (
 	Load                // memory load
 	Store               // memory store
 	Branch              // conditional branch
+	Fence               // full memory ordering barrier
 	NumClasses
 )
 
@@ -48,6 +49,8 @@ func (c Class) String() string {
 		return "store"
 	case Branch:
 		return "branch"
+	case Fence:
+		return "fence"
 	default:
 		return fmt.Sprintf("class(%d)", uint8(c))
 	}
@@ -57,7 +60,7 @@ func (c Class) String() string {
 // memory access time for loads (the cache hierarchy supplies that).
 func (c Class) Latency() uint64 {
 	switch c {
-	case IntALU, Branch:
+	case IntALU, Branch, Fence:
 		return 1
 	case IntMul:
 		return 3
@@ -115,6 +118,14 @@ type Uop struct {
 	Size   uint8  // access size in bytes (loads/stores)
 	Taken  bool   // branch outcome
 	MemSeq uint64 // true producing store sequence for loads; 0 if from memory
+
+	// Release-consistency annotations. Acq marks a load-acquire (younger
+	// memory operations may not perform before it); Rel marks a
+	// store-release (its memory update may not become visible before every
+	// older operation has performed). Fence-class uops are full barriers
+	// and carry neither flag.
+	Acq bool
+	Rel bool
 }
 
 // IsLoad reports whether u is a load.
@@ -130,9 +141,17 @@ func (u *Uop) IsBranch() bool { return u.Class == Branch }
 func (u *Uop) String() string {
 	switch u.Class {
 	case Load:
+		if u.Acq {
+			return fmt.Sprintf("#%d load.acq r%d <- [%#x]", u.Seq, u.Dst, u.Addr)
+		}
 		return fmt.Sprintf("#%d %s r%d <- [%#x]", u.Seq, u.Class, u.Dst, u.Addr)
 	case Store:
+		if u.Rel {
+			return fmt.Sprintf("#%d store.rel [%#x] <- r%d", u.Seq, u.Addr, u.Src2)
+		}
 		return fmt.Sprintf("#%d %s [%#x] <- r%d", u.Seq, u.Class, u.Addr, u.Src2)
+	case Fence:
+		return fmt.Sprintf("#%d fence", u.Seq)
 	case Branch:
 		return fmt.Sprintf("#%d %s pc=%#x taken=%v", u.Seq, u.Class, u.PC, u.Taken)
 	default:

@@ -15,6 +15,7 @@
 package multicore
 
 import (
+	"context"
 	"fmt"
 
 	"srlproc/internal/core"
@@ -58,6 +59,12 @@ type Results struct {
 	// SnoopsDelivered counts cross-core snoop deliveries (each store is
 	// delivered to every other core).
 	SnoopsDelivered uint64
+	// SnoopsDropped counts deliveries elided because the target core had
+	// already finished its measured region. A Done core's pipeline is
+	// drained and its load buffer empty, so the snoop could not change
+	// anything — but the count makes the elision visible instead of
+	// silently folding it into SnoopsDelivered.
+	SnoopsDropped uint64
 	// Cycles is the lockstep cycle count until the last core finished.
 	Cycles uint64
 }
@@ -91,8 +98,8 @@ func (r *Results) String() string {
 			fmt.Sprintf("%d", c.Restarts), fmt.Sprintf("%d", c.MemDepViolations))
 	}
 	return t.String() +
-		fmt.Sprintf("aggregate IPC %.2f, snoops delivered %d, consistency violations %d\n",
-			r.AggregateIPC(), r.SnoopsDelivered, r.TotalSnoopViolations())
+		fmt.Sprintf("aggregate IPC %.2f, snoops delivered %d (dropped %d), consistency violations %d\n",
+			r.AggregateIPC(), r.SnoopsDelivered, r.SnoopsDropped, r.TotalSnoopViolations())
 }
 
 // pendingSnoop is an in-flight bus transaction.
@@ -104,11 +111,12 @@ type pendingSnoop struct {
 
 // System is a lockstep multicore simulation.
 type System struct {
-	cfg   Config
-	cores []*core.Core
-	bus   []pendingSnoop
-	cycle uint64
-	sent  uint64
+	cfg     Config
+	cores   []*core.Core
+	bus     []pendingSnoop
+	cycle   uint64
+	sent    uint64
+	dropped uint64
 }
 
 // New builds the system.
@@ -122,6 +130,12 @@ func New(cfg Config) (*System, error) {
 		prof.CoreID = i
 		prof.SharedHotFrac = cfg.SharedHotFrac
 		prof.SnoopPer1KCycles = 0 // real traffic replaces the synthetic injector
+		// Mirror the memory-ordering workload knobs, exactly as core.New
+		// does for single-core runs: zero knobs leave the profile (and the
+		// generator's RNG stream) untouched.
+		prof.FencePer1K = cfg.Core.FencePer1K
+		prof.AcquireFrac = cfg.Core.AcquireFrac
+		prof.ReleaseFrac = cfg.Core.ReleaseFrac
 
 		cc := cfg.Core
 		cc.Seed = cfg.Core.Seed + uint64(i)*7919
@@ -139,11 +153,20 @@ func New(cfg Config) (*System, error) {
 }
 
 // broadcast queues a store's line address for delivery to every other core.
+// A store performed in lockstep cycle N is snooped no earlier than cycle
+// N+1 even at BusLatency 0 — delivery runs after every core has stepped, so
+// a same-cycle snoop is impossible by construction. Normalising the latency
+// here pins that edge explicitly instead of leaving BusLatency 0 and 1 to
+// coincide by arithmetic accident (see TestBusDeliveryTiming).
 func (s *System) broadcast(from int, addr uint64) {
 	if s.cfg.Cores == 1 {
 		return
 	}
-	s.bus = append(s.bus, pendingSnoop{deliverAt: s.cycle + s.cfg.BusLatency, from: from, addr: addr})
+	lat := s.cfg.BusLatency
+	if lat == 0 {
+		lat = 1
+	}
+	s.bus = append(s.bus, pendingSnoop{deliverAt: s.cycle + lat, from: from, addr: addr})
 }
 
 // deliver dispatches due bus transactions.
@@ -155,7 +178,11 @@ func (s *System) deliver() {
 			continue
 		}
 		for i, c := range s.cores {
-			if i == p.from || c.Done() {
+			if i == p.from {
+				continue
+			}
+			if c.Done() {
+				s.dropped++
 				continue
 			}
 			c.ExternalSnoop(p.addr)
@@ -165,12 +192,29 @@ func (s *System) deliver() {
 	s.bus = out
 }
 
+// ctxPollMask sets how often RunContext polls its context: every
+// ctxPollMask+1 lockstep cycles, mirroring the single-core RunContext
+// cadence so cancellation latency stays in the microseconds while the
+// check stays off the per-cycle hot path.
+const ctxPollMask = 0x1fff
+
 // Run advances all cores in lockstep until each has completed its measured
 // region, then returns the aggregated results.
 func (s *System) Run() (*Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext simulates like Run but with cooperative cancellation: the
+// context is polled every few thousand lockstep cycles and, once it is
+// done, the run stops and ctx.Err() is returned (wrapped). The system is
+// left mid-flight and must not be reused after a cancelled run.
+func (s *System) RunContext(ctx context.Context) (*Results, error) {
 	guard := uint64(0)
 	limit := 400*(s.cfg.Core.WarmupUops+s.cfg.Core.RunUops) + 10_000_000
 	for {
+		if guard&ctxPollMask == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("multicore: run aborted at cycle %d: %w", s.cycle, ctx.Err())
+		}
 		done := true
 		for _, c := range s.cores {
 			if !c.Done() {
@@ -188,7 +232,7 @@ func (s *System) Run() (*Results, error) {
 			return nil, fmt.Errorf("multicore: no forward progress at cycle %d", s.cycle)
 		}
 	}
-	res := &Results{Cycles: s.cycle, SnoopsDelivered: s.sent}
+	res := &Results{Cycles: s.cycle, SnoopsDelivered: s.sent, SnoopsDropped: s.dropped}
 	for _, c := range s.cores {
 		res.PerCore = append(res.PerCore, c.Finalize())
 	}

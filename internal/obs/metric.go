@@ -66,6 +66,12 @@ const (
 	// Related-work filtered store queue.
 	MetricFilteredSearchesSaved // CAM searches skipped by the membership filter
 
+	// Memory-ordering enforcement (fence / release-acquire, DESIGN.md §12).
+	MetricSRLDrainWaitRelease // head not drained: release waits for older loads
+	MetricSRLDrainWaitSync    // head not drained: older fence/acquire pending
+	MetricFenceWaitCycles     // cycles a fence waited for older ops to perform
+	MetricLoadsBlockedOnSync  // loads blocked behind an older fence/acquire
+
 	// NumMetrics bounds the enum; it must stay last.
 	NumMetrics
 )
@@ -98,6 +104,10 @@ var metricNames = [NumMetrics]string{
 	MetricSpecWritebacks:          "spec_writebacks",
 	MetricSpecConflicts:           "spec_conflicts",
 	MetricFilteredSearchesSaved:   "filtered_searches_saved",
+	MetricSRLDrainWaitRelease:     "srl_drain_wait_release",
+	MetricSRLDrainWaitSync:        "srl_drain_wait_sync",
+	MetricFenceWaitCycles:         "fence_wait_cycles",
+	MetricLoadsBlockedOnSync:      "loads_blocked_on_sync",
 }
 
 // String returns the metric's stable machine-readable name.

@@ -123,6 +123,23 @@ const (
 	// program order had not executed (the write-after-read order tracker
 	// opened the gate too early).
 	KindWARGate
+	// KindSyncOrder: a load performed, or a store drained, past an
+	// unperformed older fence or load-acquire (the ordering gate of
+	// DESIGN.md §12 failed to hold it; the seeded FaultDropSyncGate bug
+	// lands here).
+	KindSyncOrder
+	// KindFenceOrder: a fence performed while an older load was
+	// unperformed, an older store undrained, or an older sync unperformed —
+	// the fence's full-barrier obligation was not discharged.
+	KindFenceOrder
+	// KindReleaseOrder: a store-release drained while an older load was
+	// still unperformed (release semantics require all older accesses
+	// visible before the release's write becomes visible).
+	KindReleaseOrder
+	// KindSyncVersion: ordering-version bookkeeping inconsistent — a
+	// younger release carried a version no greater than an older one's
+	// (versions must grow monotonically along program order).
+	KindSyncVersion
 
 	numKinds
 )
@@ -143,6 +160,10 @@ var kindNames = [numKinds]string{
 	KindSRLOrder:         "srl-order",
 	KindLoadBufOrder:     "loadbuf-order",
 	KindWARGate:          "war-gate",
+	KindSyncOrder:        "sync-order",
+	KindFenceOrder:       "fence-order",
+	KindReleaseOrder:     "release-order",
+	KindSyncVersion:      "sync-version",
 }
 
 // String returns the divergence kind's stable name.
@@ -229,6 +250,8 @@ type storeRec struct {
 	drained   bool
 	drainCyc  uint64
 	committed bool
+	rel       bool   // store-release (DESIGN.md §12)
+	ver       uint64 // ordering version stamped at allocation
 }
 
 // loadRec is the reference model's record of one load's decision.
@@ -271,6 +294,20 @@ type Oracle struct {
 	words       map[uint64]*wordState
 	specWords   map[uint64]struct{} // words with non-empty specDrains
 
+	// Memory-ordering model (DESIGN.md §12). pendingLoads holds every
+	// allocated load that has not yet performed (made its data-source
+	// decision); pendingSyncOps holds every allocated unperformed ordering
+	// operation — true for a full fence, false for a load-acquire.
+	// undrained holds every allocated store whose value has not reached the
+	// memory image, committed or not (the fence barrier spans both).
+	pendingLoads   map[uint64]struct{}
+	pendingSyncOps map[uint64]bool
+	undrained      map[uint64]*storeRec
+	// lastRelSeq/lastRelVer track the youngest surviving release for the
+	// version-monotonicity check; reset when a squash removes it.
+	lastRelSeq uint64
+	lastRelVer uint64
+
 	divs  []Divergence
 	count uint64
 }
@@ -281,15 +318,18 @@ func New(opts Options) *Oracle {
 		opts.MaxDivergences = DefaultMaxDivergences
 	}
 	return &Oracle{
-		strictMemory: opts.StrictMemory,
-		maxDivs:      opts.MaxDivergences,
-		onDiv:        opts.OnDivergence,
-		stores:       make(map[uint64]*storeRec),
-		byID:         make(map[uint64]*storeRec),
-		uncommitted:  make(map[uint64]*storeRec),
-		loads:        make(map[uint64]*loadRec),
-		words:        make(map[uint64]*wordState),
-		specWords:    make(map[uint64]struct{}),
+		strictMemory:   opts.StrictMemory,
+		maxDivs:        opts.MaxDivergences,
+		onDiv:          opts.OnDivergence,
+		stores:         make(map[uint64]*storeRec),
+		byID:           make(map[uint64]*storeRec),
+		uncommitted:    make(map[uint64]*storeRec),
+		loads:          make(map[uint64]*loadRec),
+		words:          make(map[uint64]*wordState),
+		specWords:      make(map[uint64]struct{}),
+		pendingLoads:   make(map[uint64]struct{}),
+		pendingSyncOps: make(map[uint64]bool),
+		undrained:      make(map[uint64]*storeRec),
 	}
 }
 
@@ -327,12 +367,91 @@ func (o *Oracle) Divergences() []Divergence { return o.divs }
 
 // StoreAlloc records a store entering the window with its identifier
 // (called once per allocation; a replayed store re-enters after Squash
-// removed its previous incarnation).
-func (o *Oracle) StoreAlloc(cycle, seq, id uint64) {
-	r := &storeRec{seq: seq, id: id}
+// removed its previous incarnation). rel marks a store-release and ver is
+// the ordering version the core stamps at allocation; release versions
+// must grow monotonically along program order (each release bumps the
+// counter after stamping its own value).
+func (o *Oracle) StoreAlloc(cycle, seq, id uint64, rel bool, ver uint64) {
+	r := &storeRec{seq: seq, id: id, rel: rel, ver: ver}
 	o.stores[seq] = r
 	o.byID[id] = r
 	o.uncommitted[seq] = r
+	o.undrained[seq] = r
+	if rel {
+		if seq > o.lastRelSeq && o.lastRelSeq != 0 && ver <= o.lastRelVer {
+			o.Report(Divergence{Kind: KindSyncVersion, Cycle: cycle, StoreSeq: seq,
+				Expected: o.lastRelVer + 1, Actual: ver,
+				Detail: "release version not greater than an older release's"})
+		}
+		o.lastRelSeq, o.lastRelVer = seq, ver
+	}
+}
+
+// LoadAlloc records a load entering the window; acq marks a load-acquire,
+// which doubles as an ordering operation younger accesses may not pass.
+func (o *Oracle) LoadAlloc(cycle, seq uint64, acq bool) {
+	o.pendingLoads[seq] = struct{}{}
+	if acq {
+		o.pendingSyncOps[seq] = false
+	}
+}
+
+// FenceAlloc records a full fence entering the window.
+func (o *Oracle) FenceAlloc(cycle, seq uint64) {
+	o.pendingSyncOps[seq] = true
+}
+
+// FencePerformed checks a fence's full-barrier obligation at the moment the
+// machine considers it performed: every older load must have performed,
+// every older store must have drained out to the memory image, and every
+// older ordering operation must itself have performed.
+func (o *Oracle) FencePerformed(cycle, seq uint64) {
+	delete(o.pendingSyncOps, seq)
+	if ls := oldestBelow(o.pendingLoads, seq); ls != 0 {
+		o.Report(Divergence{Kind: KindFenceOrder, Cycle: cycle, LoadSeq: ls, StoreSeq: seq,
+			Detail: "fence performed past an unperformed older load"})
+		return
+	}
+	var oldest *storeRec
+	for ss, r := range o.undrained {
+		if ss < seq && (oldest == nil || ss < oldest.seq) {
+			oldest = r
+		}
+	}
+	if oldest != nil {
+		o.Report(Divergence{Kind: KindFenceOrder, Cycle: cycle, StoreSeq: seq,
+			Addr: oldest.addr, Actual: oldest.seq,
+			Detail: "fence performed past an undrained older store"})
+		return
+	}
+	if ps := oldestSyncBelow(o.pendingSyncOps, seq); ps != 0 {
+		o.Report(Divergence{Kind: KindFenceOrder, Cycle: cycle, StoreSeq: seq, Actual: ps,
+			Detail: "fence performed past an unperformed older sync operation"})
+	}
+}
+
+// oldestBelow returns the smallest key < seq, or 0 when none. Map
+// iteration order is randomized, so every ordering check must pick its
+// witness deterministically — divergence documents are compared
+// byte-for-byte across skip-inverted runs.
+func oldestBelow(m map[uint64]struct{}, seq uint64) uint64 {
+	best := uint64(0)
+	for k := range m {
+		if k < seq && (best == 0 || k < best) {
+			best = k
+		}
+	}
+	return best
+}
+
+func oldestSyncBelow(m map[uint64]bool, seq uint64) uint64 {
+	best := uint64(0)
+	for k := range m {
+		if k < seq && (best == 0 || k < best) {
+			best = k
+		}
+	}
+	return best
 }
 
 // StoreResolved records a store's address becoming known to the
@@ -379,8 +498,24 @@ func (o *Oracle) StoreDrained(cycle, seq uint64) {
 			Detail: "same-word drains out of program order"})
 		return
 	}
+	// Ordering gates (DESIGN.md §12): no store's value may reach the memory
+	// image past an unperformed older fence/acquire, and a store-release may
+	// not drain while any older load is unperformed.
+	if ps := oldestSyncBelow(o.pendingSyncOps, seq); ps != 0 {
+		o.Report(Divergence{Kind: KindSyncOrder, Cycle: cycle, StoreSeq: seq,
+			Addr: r.addr, Actual: ps,
+			Detail: "store drained past an unperformed older sync operation"})
+	}
+	if r.rel {
+		if ls := oldestBelow(o.pendingLoads, seq); ls != 0 {
+			o.Report(Divergence{Kind: KindReleaseOrder, Cycle: cycle, LoadSeq: ls,
+				StoreSeq: seq, Addr: r.addr,
+				Detail: "store-release drained past an unperformed older load"})
+		}
+	}
 	r.drained = true
 	r.drainCyc = cycle
+	delete(o.undrained, seq)
 	if r.committed {
 		ws.archDrain = seq
 		if ws.commit != r {
@@ -472,6 +607,17 @@ func (o *Oracle) staleMatch(ws *wordState, loadSeq uint64) *storeRec {
 // or NoProducer for a memory read.
 func (o *Oracle) LoadDecision(cycle, seq, addr uint64, kind ForwardKind, producer uint64) {
 	o.loads[seq] = &loadRec{seq: seq, addr: addr, kind: kind, producer: producer, cycle: cycle}
+	// Ordering gate (DESIGN.md §12): a load may not perform past an
+	// unperformed older fence or load-acquire. An acquire checking its own
+	// decision is excluded by the strict inequality; it stops being pending
+	// the moment it performs.
+	if ps := oldestSyncBelow(o.pendingSyncOps, seq); ps != 0 {
+		o.Report(Divergence{Kind: KindSyncOrder, Cycle: cycle, LoadSeq: seq,
+			Addr: addr, Actual: ps,
+			Detail: "load performed past an unperformed older sync operation"})
+	}
+	delete(o.pendingLoads, seq)
+	delete(o.pendingSyncOps, seq) // a performed acquire releases its gate
 	w := word(addr)
 	switch kind {
 	case FwdTempCache:
@@ -568,6 +714,22 @@ func (o *Oracle) Squash(fromSeq uint64) {
 		delete(o.stores, seq)
 		delete(o.byID, r.id)
 		delete(o.uncommitted, seq)
+		delete(o.undrained, seq)
+	}
+	for seq := range o.pendingLoads {
+		if seq >= fromSeq {
+			delete(o.pendingLoads, seq)
+		}
+	}
+	for seq := range o.pendingSyncOps {
+		if seq >= fromSeq {
+			delete(o.pendingSyncOps, seq)
+		}
+	}
+	if o.lastRelSeq >= fromSeq {
+		// The youngest-known release was squashed; its replayed incarnation
+		// re-stamps a fresh (never rolled back, so still larger) version.
+		o.lastRelSeq, o.lastRelVer = 0, 0
 	}
 	for w := range o.specWords {
 		ws := o.words[w]

@@ -10,9 +10,10 @@ func newTest(strict bool) *Oracle {
 	return New(Options{StrictMemory: strict})
 }
 
-// allocResolved is shorthand: a store allocated, resolved, and ready.
+// allocResolved is shorthand: a plain (non-release) store allocated,
+// resolved, and ready.
 func allocResolved(o *Oracle, cycle, seq, id, addr uint64) {
-	o.StoreAlloc(cycle, seq, id)
+	o.StoreAlloc(cycle, seq, id, false, 0)
 	o.StoreResolved(cycle, seq, addr, 8, true)
 }
 
@@ -54,7 +55,7 @@ func TestForwardAgeAndAddrAndSource(t *testing.T) {
 	// Forward from an unknown producer.
 	o.LoadDecision(4, 26, 0x80, FwdIndexed, 999)
 	// Forward from a resolved-but-unready store.
-	o.StoreAlloc(5, 27, 201)
+	o.StoreAlloc(5, 27, 201, false, 0)
 	o.StoreResolved(5, 27, 0x88, 8, false)
 	o.LoadDecision(6, 28, 0x88, FwdL1STQ, 201)
 	wantKinds(t, o, KindForwardAge, KindForwardAddr, KindForwardSource, KindForwardSource)
@@ -123,7 +124,7 @@ func TestCommitVisibilityDrainAfterAccess(t *testing.T) {
 func TestCommitMissingAndCommitStore(t *testing.T) {
 	o := newTest(false)
 	o.CommitLoad(1, 5)
-	o.StoreAlloc(2, 6, 60)
+	o.StoreAlloc(2, 6, 60, false, 0)
 	o.CommitStore(3, 6) // never resolved
 	wantKinds(t, o, KindCommitMissing, KindCommitStore)
 }
@@ -197,6 +198,95 @@ func TestDivergenceJSON(t *testing.T) {
 	if !strings.Contains(string(b), `"kind":"forward-age"`) {
 		t.Fatalf("kind not named in %s", b)
 	}
+}
+
+func TestSyncOrderLoadPastFence(t *testing.T) {
+	o := newTest(false)
+	o.FenceAlloc(1, 10)
+	o.LoadAlloc(1, 11, false)
+	o.LoadDecision(2, 11, 0x40, FwdMemory, NoProducer)
+	wantKinds(t, o, KindSyncOrder)
+}
+
+func TestAcquireSelfDecisionClean(t *testing.T) {
+	o := newTest(false)
+	// The acquire's own decision is not gated by itself, and once performed
+	// it no longer gates younger loads.
+	o.LoadAlloc(1, 10, true)
+	o.LoadDecision(2, 10, 0x40, FwdMemory, NoProducer)
+	o.LoadAlloc(3, 11, false)
+	o.LoadDecision(4, 11, 0x48, FwdMemory, NoProducer)
+	wantKinds(t, o)
+}
+
+func TestSyncOrderStoreDrainPastAcquire(t *testing.T) {
+	o := newTest(false)
+	o.LoadAlloc(1, 10, true) // unperformed acquire
+	allocResolved(o, 1, 11, 100, 0x40)
+	o.StoreDrained(2, 11)
+	wantKinds(t, o, KindSyncOrder)
+}
+
+func TestReleaseOrderDrainPastLoad(t *testing.T) {
+	o := newTest(false)
+	o.LoadAlloc(1, 10, false)
+	o.StoreAlloc(1, 11, 100, true, 1)
+	o.StoreResolved(1, 11, 0x40, 8, true)
+	o.StoreDrained(2, 11)
+	wantKinds(t, o, KindReleaseOrder)
+}
+
+func TestFenceOrderChecks(t *testing.T) {
+	// Unperformed older load.
+	o := newTest(false)
+	o.LoadAlloc(1, 10, false)
+	o.FenceAlloc(1, 11)
+	o.FencePerformed(2, 11)
+	wantKinds(t, o, KindFenceOrder)
+	// Undrained older store.
+	o = newTest(false)
+	allocResolved(o, 1, 10, 100, 0x40)
+	o.FenceAlloc(1, 11)
+	o.FencePerformed(2, 11)
+	wantKinds(t, o, KindFenceOrder)
+	// Unperformed older sync.
+	o = newTest(false)
+	o.FenceAlloc(1, 10)
+	o.FenceAlloc(1, 11)
+	o.FencePerformed(2, 11)
+	wantKinds(t, o, KindFenceOrder)
+}
+
+func TestFenceCleanAfterAllOlderDone(t *testing.T) {
+	o := newTest(false)
+	o.LoadAlloc(1, 10, false)
+	allocResolved(o, 1, 11, 100, 0x40)
+	o.FenceAlloc(1, 12)
+	o.LoadDecision(2, 10, 0x48, FwdMemory, NoProducer)
+	o.StoreDrained(3, 11)
+	o.FencePerformed(4, 12)
+	wantKinds(t, o)
+}
+
+func TestSyncVersionMonotonic(t *testing.T) {
+	o := newTest(false)
+	o.StoreAlloc(1, 10, 100, true, 5)
+	o.StoreAlloc(2, 12, 101, true, 5) // version failed to advance
+	wantKinds(t, o, KindSyncVersion)
+}
+
+func TestSquashClearsOrderingState(t *testing.T) {
+	o := newTest(false)
+	o.LoadAlloc(1, 10, false)
+	o.FenceAlloc(1, 11)
+	o.StoreAlloc(1, 12, 100, true, 3)
+	o.Squash(10)
+	// Replay: the fence performs immediately — nothing older survives — and
+	// the release's fresh version restarts the monotonicity chain.
+	o.FenceAlloc(2, 11)
+	o.FencePerformed(3, 11)
+	o.StoreAlloc(4, 12, 101, true, 4)
+	wantKinds(t, o)
 }
 
 func TestKindAndForwardKindNames(t *testing.T) {

@@ -244,6 +244,8 @@ func plotTitle(id bench.ExperimentID, doc []byte) string {
 		return "Energy attribution: secondary load/store structures (nJ / 1k uops)"
 	case bench.Latency:
 		return "Latency tolerance (IPC vs memory latency)"
+	case bench.Ordering:
+		return "Ordering + far-memory scenario pack (IPC)"
 	}
 	// Figure documents carry their own title.
 	var t struct {
@@ -329,6 +331,10 @@ func plotExperiment(id bench.ExperimentID, title string, header []string, rows [
 	case bench.Latency:
 		// (suite, design, latency) rows → latency on x, one line per design.
 		return pivotChart(title, "IPC", header, rows, "design", "mem_latency", "ipc", LineSVG)
+	case bench.Ordering:
+		// (suite, design, scenario) rows → scenarios as categories, one bar
+		// group per design.
+		return pivotChart(title, "IPC", header, rows, "design", "scenario", "ipc", GroupedBarSVG)
 	case bench.Table3:
 		return nil, nil // Table 3 renders as a table, not a chart
 	}

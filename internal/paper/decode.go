@@ -49,6 +49,12 @@ func resultCSV(id bench.ExperimentID, doc []byte) ([]byte, error) {
 			return nil, fmt.Errorf("paper: decode %s: %w", id, err)
 		}
 		cw = r
+	case bench.Ordering:
+		r := new(bench.OrderingResult)
+		if err := json.Unmarshal(doc, r); err != nil {
+			return nil, fmt.Errorf("paper: decode %s: %w", id, err)
+		}
+		cw = r
 	default:
 		return nil, fmt.Errorf("paper: no CSV decoder for experiment %s", id)
 	}

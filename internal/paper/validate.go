@@ -13,7 +13,7 @@ import (
 
 // keyColumns are the non-numeric identity columns a result CSV may carry;
 // every other cell must parse as a finite number.
-var keyColumns = map[string]bool{"suite": true, "design": true}
+var keyColumns = map[string]bool{"suite": true, "design": true, "scenario": true}
 
 // ValidateCSV hard-fails a result CSV that does not match its
 // experiment's declared shape: exact header, exact data-row count, no

@@ -79,6 +79,9 @@ type tmpl struct {
 	// addrChain: this load's address depends on a chain register
 	// (pointer chasing), deepening slices.
 	addrChain bool
+	// acq/rel: release-consistency annotations for load/store sites.
+	acq bool
+	rel bool
 }
 
 const (
@@ -125,19 +128,30 @@ func NewGenerator(prof Profile, seed uint64) *Generator {
 func (g *Generator) buildProgram() {
 	p := g.prof
 	g.program = make([]tmpl, programLen)
+	// fenceFrac precedes every other threshold so that a zero knob leaves
+	// all thresholds — and the RNG draw sequence — exactly as before.
+	fenceFrac := float64(p.FencePer1K) / 1000
 	for i := range g.program {
 		t := tmpl{pc: progBase + uint64(i)*4}
 		r := g.rng.Float64()
 		switch {
-		case r < p.LoadFrac:
+		case fenceFrac > 0 && r < fenceFrac:
+			t.class = isa.Fence
+		case r < fenceFrac+p.LoadFrac:
 			t.class = isa.Load
 			t.fwd = g.rng.Bool(p.FwdFrac)
 			t.addrChain = !t.fwd && g.rng.Bool(p.ChainProb*0.4)
 			t.region, t.stream = g.pickRegion()
-		case r < p.LoadFrac+p.StoreFrac:
+			if p.AcquireFrac > 0 {
+				t.acq = g.rng.Bool(p.AcquireFrac)
+			}
+		case r < fenceFrac+p.LoadFrac+p.StoreFrac:
 			t.class = isa.Store
 			t.region, t.stream = g.pickRegion()
-		case r < p.LoadFrac+p.StoreFrac+p.BranchFrac:
+			if p.ReleaseFrac > 0 {
+				t.rel = g.rng.Bool(p.ReleaseFrac)
+			}
+		case r < fenceFrac+p.LoadFrac+p.StoreFrac+p.BranchFrac:
 			t.class = isa.Branch
 			br := g.rng.Float64()
 			switch {
@@ -366,8 +380,13 @@ func (g *Generator) Next() isa.Uop {
 	u := isa.Uop{Seq: g.seq, PC: t.pc, Class: t.class, Src1: isa.NoReg, Src2: isa.NoReg, Dst: isa.NoReg}
 
 	switch t.class {
+	case isa.Fence:
+		// Full barrier: no operands, no draws — sites are fixed at program
+		// build time so zero-knob streams replay identically.
+
 	case isa.Load:
 		u.Size = 8
+		u.Acq = t.acq
 		if t.fwd && g.storeCount > 0 {
 			avail := g.storeCount
 			if avail > storeRingN {
@@ -403,6 +422,7 @@ func (g *Generator) Next() isa.Uop {
 
 	case isa.Store:
 		u.Size = 8
+		u.Rel = t.rel
 		u.Addr = g.address(t)
 		u.Src1 = g.cleanReg() // address base
 		if g.rng.Bool(g.prof.StoreChainProb) {

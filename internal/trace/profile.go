@@ -122,6 +122,16 @@ type Profile struct {
 	// Multiprocessor sharing: external store snoops per 1000 cycles.
 	SnoopPer1KCycles float64
 
+	// Memory-ordering generation (all zero by default, which emits no
+	// ordering ops and keeps pre-existing streams bit-identical — the
+	// zero-valued knobs consume no RNG draws). FencePer1K is the number of
+	// full-fence uops per 1000 micro-ops; AcquireFrac marks that fraction
+	// of load sites as load-acquire; ReleaseFrac marks that fraction of
+	// store sites as store-release.
+	FencePer1K  int
+	AcquireFrac float64
+	ReleaseFrac float64
+
 	// Multicore generation (package multicore sets these; zero values give
 	// the single-core behaviour). CoreID offsets the private regions so
 	// cores do not falsely share; SharedHotFrac is the fraction of

@@ -28,6 +28,12 @@ const (
 	traceMagic   = uint32(0x53524C54) // "SRLT"
 	traceVersion = uint32(1)
 	recordBytes  = 44
+
+	// Ordering-flag bits in record byte 38 (previously reserved, so
+	// version-1 traces written before the flags existed read back as
+	// plain loads and stores).
+	flagAcq = 1 << 0
+	flagRel = 1 << 1
 )
 
 // Writer serialises a micro-op stream to a trace file.
@@ -67,7 +73,15 @@ func (t *Writer) Write(u isa.Uop) error {
 	if u.Taken {
 		rec[37] = 1
 	}
-	// rec[38:44] reserved.
+	// rec[38] is the ordering-flag byte; rec[39:44] stay reserved. Old
+	// readers ignore the byte and old traces carry zeros, so the format
+	// version is unchanged.
+	if u.Acq {
+		rec[38] |= flagAcq
+	}
+	if u.Rel {
+		rec[38] |= flagRel
+	}
 	_, t.err = t.w.Write(rec[:])
 	if t.err == nil {
 		t.n++
@@ -150,6 +164,8 @@ func ReadRecords(rd io.Reader) ([]isa.Uop, error) {
 			Dst:    int8(rec[35]),
 			Size:   rec[36],
 			Taken:  rec[37] != 0,
+			Acq:    rec[38]&flagAcq != 0,
+			Rel:    rec[38]&flagRel != 0,
 		})
 	}
 }
@@ -230,6 +246,8 @@ func (r *Reader) Next() isa.Uop {
 		Dst:    int8(rec[35]),
 		Size:   rec[36],
 		Taken:  rec[37] != 0,
+		Acq:    rec[38]&flagAcq != 0,
+		Rel:    rec[38]&flagRel != 0,
 	}
 	if u.MemSeq != 0 {
 		u.MemSeq += r.seqBase

@@ -212,7 +212,7 @@ func TestUnifiedExperimentRunner(t *testing.T) {
 	if res.ID != Fig10 || res.Figure == nil || len(res.Figure.Series) != 2 {
 		t.Fatalf("tagged result wrong: %+v", res)
 	}
-	if len(AllExperiments()) != 9 {
+	if len(AllExperiments()) != 10 {
 		t.Fatalf("AllExperiments lists %d experiments", len(AllExperiments()))
 	}
 }
